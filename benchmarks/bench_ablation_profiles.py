@@ -1,0 +1,69 @@
+"""Ablation: calibrated vs uniform performance profiles.
+
+DESIGN.md's calibration decision: per-system service-time profiles are
+fitted to the paper's operating points. This bench shows what the
+calibration buys — with uniform (identical) profiles the between-system
+ordering collapses, so the reproduced rankings are a property of the
+calibration, while the *failure modes* (Corda OS vault scans, Quorum's
+stall, Sawtooth's queue) are structural and survive the ablation.
+"""
+
+from benchmarks.conftest import run_once
+from repro.analysis.compare import ShapeCheck, render_checks
+from repro.chains.profiles import profile_overrides, uniform_profile
+from repro.coconut.config import BenchmarkConfig
+from repro.coconut.runner import BenchmarkRunner
+
+SYSTEMS = ("fabric", "quorum", "corda_os")
+
+
+def measure(system, uniform):
+    config = BenchmarkConfig(
+        system=system, iel="DoNothing",
+        rate_limit=5 if system == "corda_os" else 100,
+        scale=0.05, repetitions=1, seed=13,
+    )
+    if uniform:
+        overrides = {name: uniform_profile(name) for name in SYSTEMS}
+        with profile_overrides(overrides):
+            result = BenchmarkRunner().run(config)
+    else:
+        result = BenchmarkRunner().run(config)
+    return result.phase("DoNothing").mtps.mean
+
+
+def test_ablation_uniform_profiles(benchmark):
+    def run_all():
+        calibrated = {system: measure(system, uniform=False) for system in SYSTEMS}
+        uniform = {system: measure(system, uniform=True) for system in SYSTEMS}
+        return calibrated, uniform
+
+    calibrated, uniform = run_once(benchmark, run_all)
+    print()
+    print("DoNothing MTPS, calibrated vs uniform profiles:")
+    for system in SYSTEMS:
+        print(f"  {system:18s} calibrated={calibrated[system]:8.2f}  "
+              f"uniform={uniform[system]:8.2f}")
+
+    fabric_vs_corda_calibrated = calibrated["fabric"] / max(calibrated["corda_os"], 1e-9)
+    fabric_vs_corda_uniform = uniform["fabric"] / max(uniform["corda_os"], 1e-9)
+    checks = [
+        ShapeCheck(
+            "calibrated: Fabric is orders of magnitude ahead of Corda OS",
+            passed=fabric_vs_corda_calibrated > 50,
+            detail=f"ratio {fabric_vs_corda_calibrated:.0f}x",
+        ),
+        ShapeCheck(
+            "uniform: the gap collapses (ordering is a calibration product)",
+            passed=fabric_vs_corda_uniform < 0.5 * fabric_vs_corda_calibrated,
+            detail=f"ratio {fabric_vs_corda_uniform:.0f}x",
+        ),
+        ShapeCheck(
+            "uniform profiles change Quorum too",
+            passed=abs(uniform["quorum"] - calibrated["quorum"])
+            > 0.1 * max(calibrated["quorum"], 1e-9),
+            detail=f"{calibrated['quorum']:.0f} -> {uniform['quorum']:.0f}",
+        ),
+    ]
+    print(render_checks(checks))
+    assert all(check.passed for check in checks)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Compare all seven systems on one benchmark — a miniature Figure 3.
+
+Runs the DoNothing benchmark (the consensus/networking ceiling, free of
+execution-layer cost) at each system's best configuration and prints a
+ranked comparison. Expect the paper's ordering: BitShares and Fabric in
+the four digits, Quorum in the hundreds, Sawtooth and Diem around a
+hundred, Corda Enterprise in the tens and Corda OS in single digits.
+
+Usage::
+
+    python examples/compare_systems.py [system ...]
+"""
+
+import sys
+
+from repro import BenchmarkConfig, BenchmarkRunner, SYSTEM_NAMES
+from repro.chains.registry import SYSTEM_LABELS
+from repro.coconut.report import format_table
+from repro.experiments.figures import best_config_kwargs, recommended_scale
+
+
+def main() -> int:
+    systems = sys.argv[1:] or list(SYSTEM_NAMES)
+    unknown = [s for s in systems if s not in SYSTEM_NAMES]
+    if unknown:
+        print(f"unknown systems: {unknown}; known: {', '.join(SYSTEM_NAMES)}")
+        return 1
+
+    runner = BenchmarkRunner()
+    rows = []
+    for system in systems:
+        config = BenchmarkConfig(
+            system=system,
+            iel="DoNothing",
+            scale=min(0.05, recommended_scale(system)) if system not in
+            ("diem", "corda_os", "corda_enterprise") else recommended_scale(system),
+            repetitions=1,
+            seed=3,
+            **best_config_kwargs(system),
+        )
+        print(f"running {system} (offered {config.aggregate_rate} payloads/s)...")
+        result = runner.run(config)
+        phase = result.phase("DoNothing")
+        rows.append(
+            (
+                phase.mtps.mean,
+                [
+                    SYSTEM_LABELS[system],
+                    f"{phase.mtps.mean:.2f}",
+                    f"{phase.mfls.mean:.2f}",
+                    f"{phase.loss_fraction:.1%}",
+                    f"{config.aggregate_rate}",
+                ],
+            )
+        )
+
+    rows.sort(key=lambda item: -item[0])
+    print()
+    print("DoNothing benchmark, best configuration per system (ranked):")
+    print(
+        format_table(
+            ["System", "MTPS", "MFLS (s)", "Lost", "Offered/s"],
+            [row for __, row in rows],
+        )
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,151 @@
+#!/usr/bin/env python
+"""Extending COCONUT with a custom smart contract (IEL).
+
+The paper designed COCONUT for extensibility with further interface
+execution layers (Section 3). This example adds an auction contract —
+open an auction, place bids, settle to the highest bidder — registers it
+with the IEL registry, defines its workload, and benchmarks it on two
+systems with very different execution paradigms (Fabric's
+execute-order-validate vs Quorum's order-execute).
+
+Contention is deliberate: every bidder targets the same handful of
+auctions, so Fabric's optimistic endorsement produces MVCC conflicts
+(invalidated-but-on-chain transactions) while Quorum serialises the bids
+and commits every one.
+
+Usage::
+
+    python examples/custom_contract.py
+"""
+
+import sys
+import typing
+
+from repro.chains.base import DeploymentSpec
+from repro.chains.registry import create_system
+from repro.iel import IELError, InterfaceExecutionLayer, register_iel
+from repro.sim import Simulator
+from repro.storage import Payload, Transaction, TxStatus
+
+
+class AuctionIEL(InterfaceExecutionLayer):
+    """Open/Bid/Settle auction logic over the key-value state."""
+
+    name = "Auction"
+
+    def functions(self) -> typing.Tuple[str, ...]:
+        return ("Open", "Bid", "Settle")
+
+    def _fn_open(self, payload, state):
+        auction = payload.arg("auction")
+        if auction is None:
+            raise IELError("Open requires an 'auction' argument")
+        if state.get(f"auction:{auction}") is not None:
+            raise IELError(f"auction {auction!r} already open")
+        state.put(f"auction:{auction}", {"status": "open", "best": 0, "bidder": ""})
+
+    def _fn_bid(self, payload, state):
+        auction = payload.arg("auction")
+        amount = payload.arg("amount", 0)
+        bidder = payload.arg("bidder", "anonymous")
+        record = state.get(f"auction:{auction}")
+        if record is None or record["status"] != "open":
+            raise IELError(f"auction {auction!r} is not open")
+        if amount <= record["best"]:
+            raise IELError(f"bid {amount} does not beat {record['best']}")
+        state.put(f"auction:{auction}", {"status": "open", "best": amount, "bidder": bidder})
+
+    def _fn_settle(self, payload, state):
+        auction = payload.arg("auction")
+        record = state.get(f"auction:{auction}")
+        if record is None:
+            raise IELError(f"unknown auction {auction!r}")
+        state.put(f"auction:{auction}", {**record, "status": "settled"})
+        return record["bidder"]
+
+
+register_iel(AuctionIEL)
+
+
+class AuctionHouse:
+    """A tiny driver submitting auction traffic straight to a system."""
+
+    def __init__(self, system_name):
+        self.sim = Simulator(seed=99)
+        self.system = create_system(system_name, self.sim, DeploymentSpec(), "Auction")
+        from repro.net import Endpoint, Host
+
+        outer = self
+
+        class Bidder(Endpoint):
+            def __init__(self):
+                super().__init__("bidder-client")
+                self.receipts = {}
+                self.rejects = {}
+
+            def on_message(self, message):
+                if message.kind == "client/receipt":
+                    for receipt in message.payload:
+                        self.receipts[receipt.payload_id] = receipt
+                elif message.kind == "client/reject":
+                    for pid in message.payload.payload_ids:
+                        self.rejects[pid] = message.payload.reason
+
+        self.client = Bidder()
+        self.system.attach_client(self.client, Host("client-host"))
+        self.gateway = self.system.gateway_for(0)
+        self.system.subscribe("bidder-client", self.gateway)
+        self.system.start()
+
+    def submit(self, function, delay, **args):
+        payload = Payload.create("bidder-client", "Auction", function, args)
+        tx = Transaction.wrap([payload], submitter="bidder-client")
+        self.sim.schedule(
+            delay,
+            lambda: self.client.send(self.gateway, "client/submit", tx,
+                                     size_bytes=tx.size_bytes),
+        )
+        return payload
+
+
+def run_auction(system_name):
+    house = AuctionHouse(system_name)
+    house.submit("Open", 0.0, auction="lot-1")
+    bids = [
+        house.submit("Bid", 8.0 + i * 0.01, auction="lot-1",
+                     amount=10 + i, bidder=f"bidder-{i}")
+        for i in range(20)
+    ]
+    settle = house.submit("Settle", 30.0, auction="lot-1")
+    house.sim.run(until=60.0)
+
+    committed = sum(
+        1 for b in bids
+        if b.payload_id in house.client.receipts
+        and house.client.receipts[b.payload_id].status is TxStatus.COMMITTED
+    )
+    invalidated = sum(
+        1 for b in bids
+        if b.payload_id in house.client.receipts
+        and house.client.receipts[b.payload_id].status is TxStatus.INVALIDATED
+    )
+    node = house.system.nodes[house.system.node_ids[0]]
+    final = node.state.get("auction:lot-1")
+    winner = house.client.receipts.get(settle.payload_id)
+    return committed, invalidated, final, winner
+
+
+def main() -> int:
+    for system_name in ("fabric", "quorum"):
+        committed, invalidated, final, winner = run_auction(system_name)
+        print(f"{system_name}: {committed} bids committed, "
+              f"{invalidated} invalidated (MVCC), final state: {final}")
+    print()
+    print("Fabric endorses racing bids against the same snapshot, so most are")
+    print("invalidated at validation; Quorum orders first and executes serially,")
+    print("rejecting only the bids that genuinely fail to beat the best price.")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,40 @@
+"""Quick calibration sweep against the paper's anchor numbers."""
+import sys, time
+from repro.coconut import BenchmarkConfig, BenchmarkRunner
+
+CASES = [
+    # (paper anchor, config, phase)
+    ("fabric SendPayment RL800 MM100 -> 801 MTPS / 0.22s", dict(system="fabric", iel="BankingApp", rate_limit=200, params={"MaxMessageCount": 100}), "SendPayment"),
+    ("fabric SendPayment RL1600 MM100 -> 1285 MTPS / 6.7s, ~15% loss", dict(system="fabric", iel="BankingApp", rate_limit=400, params={"MaxMessageCount": 100}), "SendPayment"),
+    ("fabric DoNothing best -> 1400-1461", dict(system="fabric", iel="DoNothing", rate_limit=400, params={"MaxMessageCount": 2000}), "DoNothing"),
+    ("quorum Balance RL400 BP5 -> 365 MTPS / 12.3s, 58% received", dict(system="quorum", iel="BankingApp", rate_limit=100, params={"istanbul.blockperiod": 5.0}), "Balance"),
+    ("quorum Balance RL400 BP2 -> 0 MTPS", dict(system="quorum", iel="BankingApp", rate_limit=100, params={"istanbul.blockperiod": 2.0}), "Balance"),
+    ("quorum DoNothing BP5 RL1600 -> 773 MTPS / 10.3s", dict(system="quorum", iel="DoNothing", rate_limit=400, params={"istanbul.blockperiod": 5.0}), "DoNothing"),
+    ("bitshares DoNothing RL1600 BI1 ops100 -> 1600 MTPS / 1.09s no loss", dict(system="bitshares", iel="DoNothing", rate_limit=400, params={"block_interval": 1.0}, ops_per_transaction=100), "DoNothing"),
+    ("bitshares DoNothing 1op -> max ~590", dict(system="bitshares", iel="DoNothing", rate_limit=400, params={"block_interval": 1.0}), "DoNothing"),
+    ("sawtooth CreateAccount RL200 PD1 batch100 -> 66.7 MTPS / 26.4s recv 23k/60k", dict(system="sawtooth", iel="BankingApp", rate_limit=50, params={"block_publishing_delay": 1.0}, txs_per_batch=100), "CreateAccount"),
+    ("sawtooth CreateAccount RL1600 PD1 batch100 -> 14.3 MTPS / 238s", dict(system="sawtooth", iel="BankingApp", rate_limit=400, params={"block_publishing_delay": 1.0}, txs_per_batch=100), "CreateAccount"),
+    ("sawtooth DoNothing batch100 -> 103 MTPS", dict(system="sawtooth", iel="DoNothing", rate_limit=50, params={"block_publishing_delay": 1.0}, txs_per_batch=100), "DoNothing"),
+    ("diem Get RL200 BS2000 -> 64 MTPS / 108s recv 16.7k/60k", dict(system="diem", iel="KeyValue", rate_limit=50, params={"max_block_size": 2000}), "Get"),
+    ("diem Get RL1600 BS100 -> 11.8 MTPS / 81s", dict(system="diem", iel="KeyValue", rate_limit=400, params={"max_block_size": 100}), "Get"),
+    ("corda_os Set RL20 -> 4.08 MTPS / 152s recv 1439/6000", dict(system="corda_os", iel="KeyValue", rate_limit=5), "Set"),
+    ("corda_os Set RL160 -> 1.04 MTPS / 227s recv 374/48000", dict(system="corda_os", iel="KeyValue", rate_limit=40), "Set"),
+    ("corda_os Get -> all fail", dict(system="corda_os", iel="KeyValue", rate_limit=5), "Get"),
+    ("corda_ent Set RL20 -> 12.8 MTPS / 22.8s recv 4250/6000", dict(system="corda_enterprise", iel="KeyValue", rate_limit=5), "Set"),
+    ("corda_ent Set RL160 -> 13.5 MTPS / 31.6s recv 4571/48000", dict(system="corda_enterprise", iel="KeyValue", rate_limit=40), "Set"),
+    ("corda_ent DoNothing -> up to 64.6 MTPS", dict(system="corda_enterprise", iel="DoNothing", rate_limit=40), "DoNothing"),
+]
+
+scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.1
+only = sys.argv[2] if len(sys.argv) > 2 else ""
+runner = BenchmarkRunner()
+for anchor, kwargs, phase in CASES:
+    if only and only not in anchor:
+        continue
+    t0 = time.time()
+    config = BenchmarkConfig(repetitions=1, scale=scale, seed=7, **kwargs)
+    result = runner.run(config)
+    p = result.phases[phase]
+    rep = p.repetitions[0]
+    print(f"{anchor}")
+    print(f"    measured: MTPS={rep.tps:7.2f}  MFLS={rep.mean_fls:7.2f}s  D={rep.duration:6.1f}s  recv={rep.received}/{rep.expected}  [{time.time()-t0:.0f}s wall]")

@@ -1,0 +1,40 @@
+"""Reproduction of "An End-to-End Performance Comparison of Seven
+Permissioned Blockchain Systems" (Geyer et al., Middleware '23).
+
+The package reimplements the paper's COCONUT benchmarking framework and
+protocol-level models of the seven systems it evaluates, on top of a
+deterministic discrete-event simulation. Quick start::
+
+    from repro import BenchmarkConfig, BenchmarkRunner
+
+    config = BenchmarkConfig(system="fabric", iel="KeyValue",
+                             rate_limit=200, scale=0.05, repetitions=1)
+    result = BenchmarkRunner().run(config)
+    print(result.phase("Set").mtps.mean)
+
+Sub-packages: :mod:`repro.sim` (simulation kernel), :mod:`repro.net`
+(network), :mod:`repro.crypto`, :mod:`repro.storage`,
+:mod:`repro.consensus` (six protocol engines), :mod:`repro.iel` (smart
+contracts), :mod:`repro.chains` (the seven system models),
+:mod:`repro.coconut` (the benchmarking framework),
+:mod:`repro.experiments` (every paper table and figure) and
+:mod:`repro.analysis`.
+"""
+
+from repro.chains import DeploymentSpec, SYSTEM_NAMES, create_system
+from repro.coconut import BenchmarkConfig, BenchmarkRunner, ResultStore
+from repro.experiments import EXPERIMENT_IDS, build_experiment
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkRunner",
+    "DeploymentSpec",
+    "EXPERIMENT_IDS",
+    "ResultStore",
+    "SYSTEM_NAMES",
+    "__version__",
+    "build_experiment",
+    "create_system",
+]

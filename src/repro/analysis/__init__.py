@@ -1,0 +1,17 @@
+"""Analysis helpers: shape comparison against the paper, block
+statistics, time series."""
+
+from repro.analysis.blockstats import BlockStats, collect_block_stats, production_pace_held
+from repro.analysis.compare import ShapeCheck, ordering_preserved, within_factor
+from repro.analysis.timeseries import latency_percentiles, throughput_over_time
+
+__all__ = [
+    "BlockStats",
+    "ShapeCheck",
+    "collect_block_stats",
+    "latency_percentiles",
+    "ordering_preserved",
+    "production_pace_held",
+    "throughput_over_time",
+    "within_factor",
+]

@@ -1,0 +1,433 @@
+"""Hyperledger Fabric v2.x — execute-order-validate with Raft ordering.
+
+The model follows the real pipeline (Androulaki et al., EuroSys '18):
+
+1. *Endorsement*: the gateway peer simulates the chaincode against its
+   current world state, recording a read/write set per transaction.
+2. *Ordering*: endorsed envelopes go to the ordering service — three
+   orderer endpoints on servers 1–3 (Table 4) running the real
+   :class:`~repro.consensus.raft.RaftEngine`. The Raft leader cuts blocks
+   at ``MaxMessageCount`` envelopes or the batch timeout, whichever is
+   first.
+3. *Validation*: every peer receives delivered blocks, re-checks each
+   read set against its world state (MVCC) and appends the block —
+   including transactions that failed validation, which are flagged
+   invalid but remain on chain (Section 5.4: the paper counts them as
+   received).
+
+Known behaviour reproduced by an explicit mechanism: with 16 or more
+peers the client event-delivery service breaks down — peers and orderers
+keep finalising but clients receive no confirmations (Section 5.8.2).
+The paper observed this without isolating a root cause; we model it as
+the gateway event service dropping all notifications above that size.
+"""
+
+from __future__ import annotations
+
+import collections
+import typing
+
+from repro.chains.base import BaseNode, BlockProposal, SystemModel
+from repro.consensus.base import Decision, EngineContext
+from repro.consensus.raft import RaftEngine
+from repro.iel.base import ReadWriteSetAdapter
+from repro.net import Endpoint, Message
+from repro.sim.kernel import Simulator
+from repro.sim.stores import Store
+from repro.storage import Transaction, TxStatus
+
+#: Peer count at which the client event service collapses (Section 5.8.2).
+EVENT_SERVICE_PEER_LIMIT = 16
+
+#: Number of ordering-service nodes (Table 4: "3 orderers, servers 1-3").
+ORDERER_COUNT = 3
+
+#: Flow-control window of the peer -> orderer broadcast stream: at most
+#: this many unacknowledged envelopes in flight. Harmless inside the
+#: data centre (sub-millisecond acks) but it caps per-peer submission at
+#: window/RTT under WAN latency — the paper's 33-40% Fabric drop under
+#: netem (Section 5.8.1).
+BROADCAST_WINDOW = 6
+
+
+class FabricEnvelope:
+    """An endorsed transaction on its way to the orderers."""
+
+    __slots__ = ("transaction", "rwset", "endorsed_at")
+
+    def __init__(self, transaction: Transaction, rwset, endorsed_at: float) -> None:
+        self.transaction = transaction
+        self.rwset = rwset
+        self.endorsed_at = endorsed_at
+
+    @property
+    def size_bytes(self) -> int:
+        return self.transaction.size_bytes + 128
+
+
+class FabricPeer(BaseNode):
+    """An endorsing/committing peer."""
+
+    def __init__(self, system: "FabricSystem", node_id: str) -> None:
+        super().__init__(system, node_id)
+        self.in_flight = 0
+        self._delivery_queue: Store = Store(self.sim, name=f"{node_id}-deliver")
+        self._stream_inflight = 0
+        self._stream_backlog: typing.Deque[FabricEnvelope] = collections.deque()
+        self.sim.spawn(self._commit_loop(), name=f"{node_id}-committer")
+
+    def forward_envelope(self, envelope: FabricEnvelope) -> None:
+        """Push an envelope onto the flow-controlled orderer stream."""
+        if self._stream_inflight < BROADCAST_WINDOW:
+            self._stream_send(envelope)
+        else:
+            self._stream_backlog.append(envelope)
+
+    def _stream_send(self, envelope: FabricEnvelope) -> None:
+        system = typing.cast("FabricSystem", self.system)
+        target = system.leader_orderer_id() or system.orderer_of_peer(self.endpoint_id)
+        self._stream_inflight += 1
+        self.send(target, "fabric/envelope", envelope, size_bytes=envelope.size_bytes)
+
+    def on_stream_ack(self) -> None:
+        """The orderer acknowledged one envelope; release the window."""
+        self._stream_inflight -= 1
+        if self._stream_backlog:
+            self._stream_send(self._stream_backlog.popleft())
+
+    def endorse(self, transaction: Transaction) -> typing.Generator:
+        """Simulate the chaincode, producing the envelope (a process body)."""
+        cost = self.profile.admission_cost + sum(
+            self.execute_cost_of(payload) for payload in transaction.payloads
+        )
+        yield from self.busy(cost)
+        adapter = ReadWriteSetAdapter(self.state)
+        for payload in transaction.payloads:
+            self.iel.execute(payload, adapter)
+        return FabricEnvelope(transaction, adapter.rwset, self.sim.now)
+
+    def enqueue_block(self, proposal: BlockProposal, proposer: str) -> None:
+        """A block arrived from the ordering service."""
+        self._delivery_queue.try_put((proposal, proposer))
+
+    def _commit_loop(self) -> typing.Generator:
+        system = typing.cast("FabricSystem", self.system)
+        while True:
+            proposal, proposer = yield self._delivery_queue.get()
+            validation_cost = self.profile.block_overhead + self.execution_time(
+                proposal.transactions
+            )
+            yield from self.busy(validation_cost)
+            outcome: typing.Dict[str, typing.Tuple[TxStatus, str]] = {}
+            rwsets = proposal.metadata["rwsets"]
+            for tx in proposal.transactions:
+                applied = self.state.apply(rwsets[tx.tx_id])
+                status = TxStatus.COMMITTED if applied else TxStatus.INVALIDATED
+                detail = "" if applied else "mvcc read conflict"
+                for payload in tx.payloads:
+                    outcome[payload.payload_id] = (status, detail)
+                    if applied:
+                        self.executed_payloads += 1
+            self.seal_and_append(proposal, proposer)
+            system.stage_finality(proposal.proposal_id, outcome, self.chain.height)
+            system.record_commit(proposal.proposal_id, self.endpoint_id)
+
+
+class FabricOrderer(Endpoint):
+    """One ordering-service node.
+
+    Runs in one of two modes (Section 5.4 compares them): ``raft``
+    (the default) embeds a Raft replica and the leader cuts blocks;
+    ``kafka`` publishes envelopes plus time-to-cut markers to the broker
+    and every orderer cuts identical blocks from the totally ordered
+    stream.
+    """
+
+    def __init__(self, system: "FabricSystem", orderer_id: str) -> None:
+        super().__init__(orderer_id)
+        self.system = system
+        self.sim: Simulator = system.sim
+        self.engine: typing.Optional[RaftEngine] = None
+        self.pending: typing.List[FabricEnvelope] = []
+        self.blocks_cut = 0
+        # Kafka mode state: the consumed stream's cursor.
+        self._kafka_pending: typing.List[FabricEnvelope] = []
+        self._kafka_first_offset = 0
+        self._kafka_last_ttc = -1
+
+    @property
+    def uses_kafka(self) -> bool:
+        return self.system.ordering_service == "kafka"
+
+    def on_message(self, message: Message) -> None:
+        if message.kind.startswith("raft/"):
+            assert self.engine is not None
+            self.engine.on_message(message.kind, message.src, message.payload)
+        elif message.kind == "fabric/envelope":
+            if message.src in self.system.nodes:
+                # Acknowledge the peer's stream slot (relays between
+                # orderers are not flow controlled).
+                self.send(message.src, "fabric/envelope_ack", None, size_bytes=32)
+            self._accept_envelope(message.payload)
+        else:
+            raise AssertionError(f"orderer got unexpected {message.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Raft mode
+
+    def _accept_envelope(self, envelope: FabricEnvelope) -> None:
+        if self.uses_kafka:
+            assert self.system.broker is not None
+            self.system.broker.publish(("envelope", envelope))
+            return
+        assert self.engine is not None
+        if not self.engine.is_leader:
+            leader = self.engine.leader_id
+            if leader and leader != self.endpoint_id:
+                # Relay to the known leader.
+                self.send(leader, "fabric/envelope", envelope, size_bytes=envelope.size_bytes)
+            else:
+                # No leader known (election in progress): hold briefly
+                # and retry, as the real broadcast client reconnects.
+                self.sim.schedule(0.1, lambda: self._accept_envelope(envelope))
+            return
+        self.pending.append(envelope)
+        max_count = int(self.system.params["MaxMessageCount"])
+        if len(self.pending) >= max_count:
+            self.cut_block()
+
+    def cut_block(self) -> None:
+        """Form a block from pending envelopes and hand it to Raft."""
+        assert self.engine is not None
+        if not self.pending or not self.engine.is_leader:
+            return
+        max_count = int(self.system.params["MaxMessageCount"])
+        batch, self.pending = self.pending[:max_count], self.pending[max_count:]
+        proposal = BlockProposal.cut([e.transaction for e in batch], self.sim.now)
+        proposal.metadata["rwsets"] = {e.transaction.tx_id: e.rwset for e in batch}
+        self.blocks_cut += 1
+        self.engine.submit_proposal(proposal)
+
+    def batch_timer(self) -> typing.Generator:
+        """Drive block cutting every BatchTimeout seconds.
+
+        Raft mode cuts locally on the leader; Kafka mode publishes a
+        time-to-cut marker so all orderers cut at the same log position.
+        """
+        timeout = float(self.system.params["BatchTimeout"])
+        while True:
+            yield self.sim.timeout(timeout)
+            if self.uses_kafka:
+                assert self.system.broker is not None
+                if self._kafka_pending:
+                    self.system.broker.publish(("ttc", self.endpoint_id))
+            else:
+                self.cut_block()
+
+    def on_decision(self, decision: Decision) -> None:
+        """Raft committed a block: deliver it to this orderer's peers."""
+        self._deliver(typing.cast(BlockProposal, decision.proposal), decision.proposer)
+
+    def _deliver(self, proposal: BlockProposal, proposer: str) -> None:
+        for peer_id in self.system.peers_of_orderer(self.endpoint_id):
+            self.send(
+                peer_id,
+                "fabric/deliver",
+                (proposal, proposer),
+                size_bytes=proposal.size_bytes,
+            )
+
+    # ------------------------------------------------------------------
+    # Kafka mode
+
+    def on_kafka_message(self, offset: int, message: typing.Tuple[str, object]) -> None:
+        """Consume one totally ordered broker message.
+
+        Cutting is a pure function of the log, so every orderer cuts the
+        identical block sequence with identical deterministic ids.
+        """
+        kind, payload = message
+        if kind == "envelope":
+            if not self._kafka_pending:
+                self._kafka_first_offset = offset
+            self._kafka_pending.append(typing.cast(FabricEnvelope, payload))
+            if len(self._kafka_pending) >= int(self.system.params["MaxMessageCount"]):
+                self._kafka_cut(offset)
+        elif kind == "ttc":
+            # Only the first marker after the last cut triggers; later
+            # duplicates from other orderers' timers are no-ops.
+            if self._kafka_pending and offset > self._kafka_last_ttc:
+                self._kafka_cut(offset)
+            self._kafka_last_ttc = offset
+
+    def _kafka_cut(self, offset: int) -> None:
+        batch, self._kafka_pending = self._kafka_pending, []
+        proposal = BlockProposal.cut(
+            [e.transaction for e in batch],
+            self.sim.now,
+            proposal_id=f"kafka-{self._kafka_first_offset}-{offset}",
+        )
+        proposal.metadata["rwsets"] = {e.transaction.tx_id: e.rwset for e in batch}
+        self.blocks_cut += 1
+        # The proposer must be deterministic across orderers or the
+        # sealed blocks would hash differently on different peers.
+        self._deliver(proposal, "ordering-service")
+
+
+class FabricSystem(SystemModel):
+    """A Fabric deployment: peers, orderers, Raft, MVCC validation."""
+
+    name = "fabric"
+    engine_prefixes = ()  # peers never receive raw consensus traffic
+    stabilization_time = 0.0
+
+    def default_params(self) -> typing.Dict[str, object]:
+        return {
+            # Table 5: default 500, evaluated {100, 500, 1000, 2000}.
+            "MaxMessageCount": 500,
+            # Fabric's BatchTimeout; clients observe a block event every
+            # second in the paper's runs (Section 5.4).
+            "BatchTimeout": 1.0,
+            # In-flight endorsement limit per peer.
+            "EndorsementBacklog": 30_000,
+            # "raft" (the paper's main runs) or "kafka" (Section 5.4's
+            # comparison point).
+            "OrderingService": "raft",
+        }
+
+    @property
+    def ordering_service(self) -> str:
+        """Which ordering backend this deployment runs."""
+        service = str(self.params["OrderingService"])
+        if service not in ("raft", "kafka"):
+            raise ValueError(f"unknown OrderingService {service!r}")
+        return service
+
+    def make_node(self, node_id: str) -> FabricPeer:
+        return FabricPeer(self, node_id)
+
+    def build(self) -> None:
+        from repro.consensus.kafka import KafkaBroker
+
+        self.orderer_ids = [f"{self.name}-orderer{i}" for i in range(ORDERER_COUNT)]
+        self.orderers: typing.Dict[str, FabricOrderer] = {}
+        self.broker: typing.Optional[KafkaBroker] = None
+        for index, orderer_id in enumerate(self.orderer_ids):
+            orderer = FabricOrderer(self, orderer_id)
+            # Orderers live on servers 1..3 (hosts 0..2), Table 4.
+            host = self.server_hosts[index % len(self.server_hosts)]
+            self.network.attach(orderer, host)
+            self.orderers[orderer_id] = orderer
+        if self.ordering_service == "kafka":
+            self.broker = KafkaBroker(self.sim, name=f"{self.name}-kafka")
+            for orderer in self.orderers.values():
+                self.broker.subscribe(orderer.on_kafka_message)
+        else:
+            for orderer_id, orderer in self.orderers.items():
+                context = EngineContext(
+                    sim=self.sim,
+                    replica_id=orderer_id,
+                    peers=self.orderer_ids,
+                    send_fn=self._engine_sender(orderer_id),
+                    decide_fn=orderer.on_decision,
+                    rng=self.sim.rng.stream(f"raft:{orderer_id}"),
+                )
+                orderer.engine = RaftEngine(context)
+        self._event_service_broken = self.spec.node_count >= EVENT_SERVICE_PEER_LIMIT
+
+    def _engine_sender(self, src: str):
+        def sender(dst: str, kind: str, payload: object, size_bytes: int) -> None:
+            self.network.send(Message(src, dst, kind, payload, size_bytes))
+
+        return sender
+
+    def start(self) -> None:
+        self.started = True
+        for orderer in self.orderers.values():
+            if orderer.engine is not None:
+                orderer.engine.start()
+            self.sim.spawn(orderer.batch_timer(), name=f"{orderer.endpoint_id}-cutter")
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+
+    def live_orderer_ids(self) -> typing.List[str]:
+        """Orderers currently able to serve deliver streams."""
+        return [
+            orderer_id
+            for orderer_id, orderer in self.orderers.items()
+            if orderer.engine is None or not orderer.engine.stopped
+        ]
+
+    def peers_of_orderer(self, orderer_id: str) -> typing.List[str]:
+        """The peers this orderer delivers blocks to (round-robin).
+
+        Peers whose orderer crashed reconnect to a live one, so the
+        partition is computed over the live set.
+        """
+        live = self.live_orderer_ids()
+        if orderer_id not in live:
+            return []
+        index = live.index(orderer_id)
+        return [
+            node_id
+            for position, node_id in enumerate(self.node_ids)
+            if position % len(live) == index
+        ]
+
+    def orderer_of_peer(self, node_id: str) -> str:
+        """The orderer a peer forwards envelopes to."""
+        position = self.node_ids.index(node_id)
+        return self.orderer_ids[position % len(self.orderer_ids)]
+
+    def leader_orderer_id(self) -> typing.Optional[str]:
+        """The current Raft leader among the orderers (None during election)."""
+        for orderer_id, orderer in self.orderers.items():
+            if orderer.engine is not None and orderer.engine.is_leader:
+                return orderer_id
+        return None
+
+    # ------------------------------------------------------------------
+    # Submission path
+
+    def handle_submit(self, node: BaseNode, message: Message) -> None:
+        peer = typing.cast(FabricPeer, node)
+        transaction = typing.cast(Transaction, message.payload)
+        if peer.in_flight >= int(self.params["EndorsementBacklog"]):
+            peer.reject_client(
+                message.src,
+                [p.payload_id for p in transaction.payloads],
+                "endorsement backlog full",
+            )
+            return
+        self.remember_owner(transaction.payloads)
+        peer.in_flight += 1
+        self.sim.spawn(self._endorse_and_forward(peer, transaction))
+
+    def _endorse_and_forward(self, peer: FabricPeer, transaction: Transaction) -> typing.Generator:
+        envelope = yield from peer.endorse(transaction)
+        peer.in_flight -= 1
+        peer.forward_envelope(envelope)
+
+    def handle_node_message(self, node: BaseNode, message: Message) -> None:
+        if message.kind == "fabric/deliver":
+            proposal, proposer = message.payload
+            typing.cast(FabricPeer, node).enqueue_block(proposal, proposer)
+        elif message.kind == "fabric/envelope_ack":
+            typing.cast(FabricPeer, node).on_stream_ack()
+        else:
+            super().handle_node_message(node, message)
+
+    # ------------------------------------------------------------------
+    # The >=16-peer event-service failure (Section 5.8.2)
+
+    def _on_final(self, key: str, commit_time: float) -> None:
+        if self._event_service_broken:
+            outcome = self._pending_final.pop(key, None)
+            self._pending_height.pop(key, None)
+            if outcome:
+                gateway_ids = set(self.subscriptions.values())
+                for gateway_id in gateway_ids:
+                    self.nodes[gateway_id].dropped_notifications += len(outcome)
+            return
+        super()._on_final(key, commit_time)

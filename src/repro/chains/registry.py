@@ -1,0 +1,68 @@
+"""System registry: name -> model class."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.chains.base import DeploymentSpec, SystemModel
+from repro.chains.bitshares import BitSharesSystem
+from repro.chains.corda_enterprise import CordaEnterpriseSystem
+from repro.chains.corda_os import CordaOsSystem
+from repro.chains.diem import DiemSystem
+from repro.chains.fabric import FabricSystem
+from repro.chains.quorum import QuorumSystem
+from repro.chains.sawtooth import SawtoothSystem
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+_SYSTEMS: typing.Dict[str, typing.Type[SystemModel]] = {
+    cls.name: cls
+    for cls in (
+        CordaOsSystem,
+        CordaEnterpriseSystem,
+        BitSharesSystem,
+        FabricSystem,
+        QuorumSystem,
+        SawtoothSystem,
+        DiemSystem,
+    )
+}
+
+#: The seven systems, in the paper's presentation order (Figure 3 columns).
+SYSTEM_NAMES: typing.Tuple[str, ...] = (
+    "corda_os",
+    "corda_enterprise",
+    "bitshares",
+    "fabric",
+    "quorum",
+    "sawtooth",
+    "diem",
+)
+
+#: Human-readable labels matching the paper's figures.
+SYSTEM_LABELS: typing.Dict[str, str] = {
+    "corda_os": "Corda OS",
+    "corda_enterprise": "Corda Enterprise",
+    "bitshares": "BitShares",
+    "fabric": "Fabric",
+    "quorum": "Quorum",
+    "sawtooth": "Sawtooth",
+    "diem": "Diem",
+}
+
+
+def create_system(
+    name: str, sim: "Simulator", spec: DeploymentSpec, iel_name: str
+) -> SystemModel:
+    """Instantiate a system model by registry name."""
+    if name not in _SYSTEMS:
+        raise KeyError(f"unknown system {name!r}; known: {sorted(_SYSTEMS)}")
+    return _SYSTEMS[name](sim, spec, iel_name)
+
+
+def system_class(name: str) -> typing.Type[SystemModel]:
+    """Look up a system model class by name."""
+    if name not in _SYSTEMS:
+        raise KeyError(f"unknown system {name!r}; known: {sorted(_SYSTEMS)}")
+    return _SYSTEMS[name]

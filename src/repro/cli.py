@@ -1,0 +1,160 @@
+"""The ``coconut`` command-line interface.
+
+Subcommands:
+
+* ``coconut list`` — systems, IELs and experiments available.
+* ``coconut run`` — one benchmark unit with explicit settings.
+* ``coconut experiment`` — reproduce one paper table or figure.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import typing
+
+from repro.chains.registry import SYSTEM_NAMES
+from repro.coconut.config import BenchmarkConfig, UNIT_PHASES
+from repro.coconut.report import unit_summary
+from repro.coconut.results import ResultStore
+from repro.coconut.runner import BenchmarkRunner
+from repro.experiments.registry import EXPERIMENT_IDS, build_experiment
+from repro.experiments.sweeps import SWEEPS, build_sweep
+from repro.net.latency import EUROPEAN_WAN_LATENCY
+
+
+def _parse_params(raw: typing.Sequence[str]) -> typing.Dict[str, object]:
+    params: typing.Dict[str, object] = {}
+    for item in raw:
+        if "=" not in item:
+            raise SystemExit(f"--param expects key=value, got {item!r}")
+        key, value = item.split("=", 1)
+        try:
+            params[key] = float(value) if "." in value else int(value)
+        except ValueError:
+            params[key] = value
+    return params
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    print("systems:     " + ", ".join(SYSTEM_NAMES))
+    print("iels:        " + ", ".join(sorted(UNIT_PHASES)))
+    print("experiments: " + ", ".join(EXPERIMENT_IDS))
+    print("sweeps:      " + ", ".join(sorted(SWEEPS)))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    config = BenchmarkConfig(
+        system=args.system,
+        iel=args.iel,
+        rate_limit=args.rate,
+        params=_parse_params(args.param),
+        ops_per_transaction=args.ops,
+        txs_per_batch=args.batch,
+        node_count=args.nodes,
+        repetitions=args.repetitions,
+        latency=EUROPEAN_WAN_LATENCY if args.netem else None,
+        scale=args.scale,
+        seed=args.seed,
+    )
+    store = ResultStore(args.output) if args.output else None
+    runner = BenchmarkRunner(store=store, progress=print if args.verbose else None)
+    result = runner.run(config)
+    print(unit_summary(result))
+    if args.blockstats and runner.last_rig is not None:
+        from repro.analysis.blockstats import collect_block_stats
+
+        node = runner.last_rig.system.nodes[runner.last_rig.system.node_ids[0]]
+        print(f"block stats: {collect_block_stats(node.chain).describe()}")
+    return 0
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    experiment = build_experiment(args.experiment_id)
+    runner = BenchmarkRunner(progress=print if args.verbose else None)
+    kwargs: typing.Dict[str, object] = {"runner": runner}
+    if args.scale is not None:
+        kwargs["scale"] = args.scale
+    if args.systems and hasattr(experiment, "run"):
+        import inspect
+
+        if "systems" in inspect.signature(experiment.run).parameters:
+            kwargs["systems"] = args.systems.split(",")
+    run = experiment.run(**kwargs)
+    print(run.render())
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    sweep = build_sweep(args.sweep_id)
+    runner = BenchmarkRunner(progress=print if args.verbose else None)
+    run = sweep.run(runner=runner, scale=args.scale)
+    print(run.render())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="coconut",
+        description="COCONUT blockchain benchmark reproduction (Middleware '23)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    list_parser = subparsers.add_parser("list", help="show systems, IELs and experiments")
+    list_parser.set_defaults(handler=_cmd_list)
+
+    run_parser = subparsers.add_parser("run", help="run one benchmark unit")
+    run_parser.add_argument("--system", required=True, choices=SYSTEM_NAMES)
+    run_parser.add_argument("--iel", default="KeyValue", choices=sorted(UNIT_PHASES))
+    run_parser.add_argument("--rate", type=int, default=100,
+                            help="payloads/second per client (4 clients)")
+    run_parser.add_argument("--param", action="append", default=[],
+                            help="system parameter, key=value (repeatable)")
+    run_parser.add_argument("--ops", type=int, default=1,
+                            help="BitShares operations per transaction")
+    run_parser.add_argument("--batch", type=int, default=1,
+                            help="Sawtooth transactions per batch")
+    run_parser.add_argument("--nodes", type=int, default=4)
+    run_parser.add_argument("--repetitions", type=int, default=1)
+    run_parser.add_argument("--netem", action="store_true",
+                            help="emulate the paper's European WAN latency")
+    run_parser.add_argument("--scale", type=float, default=0.1,
+                            help="window scale (1.0 = the paper's 300 s send window)")
+    run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--output", help="directory to persist results into")
+    run_parser.add_argument("--blockstats", action="store_true",
+                            help="print block statistics after the run")
+    run_parser.add_argument("--verbose", action="store_true")
+    run_parser.set_defaults(handler=_cmd_run)
+
+    experiment_parser = subparsers.add_parser(
+        "experiment", help="reproduce one paper table or figure"
+    )
+    experiment_parser.add_argument("experiment_id", choices=EXPERIMENT_IDS)
+    experiment_parser.add_argument("--scale", type=float, default=None)
+    experiment_parser.add_argument("--systems", help="comma-separated subset (figures only)")
+    experiment_parser.add_argument("--verbose", action="store_true")
+    experiment_parser.set_defaults(handler=_cmd_experiment)
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="run one Table 5/6 parameter sweep"
+    )
+    sweep_parser.add_argument("sweep_id", choices=sorted(SWEEPS))
+    sweep_parser.add_argument("--scale", type=float, default=None)
+    sweep_parser.add_argument("--verbose", action="store_true")
+    sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    return parser
+
+
+def main(argv: typing.Optional[typing.Sequence[str]] = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,41 @@
+"""COCONUT — the automatiC blOckChain perfOrmaNce evalUation sysTem.
+
+The paper's contribution (Section 3): an end-to-end blockchain
+benchmarking framework. Clients (:mod:`repro.coconut.client`) drive
+workloads (:mod:`repro.coconut.workload`) through per-system drivers
+(:mod:`repro.coconut.bal`, the blockchain access layer), collect
+finalization notifications and compute the end-to-end metrics of Section
+4.5 (:mod:`repro.coconut.metrics`). The runner
+(:mod:`repro.coconut.runner`) provisions a fresh deployment per
+benchmark unit (:mod:`repro.coconut.provisioner`), executes the unit's
+phases and persists results (:mod:`repro.coconut.results`), which the
+report module renders as the paper's tables and heat maps
+(:mod:`repro.coconut.report`).
+"""
+
+from repro.coconut.bal import make_driver
+from repro.coconut.client import CoconutClient
+from repro.coconut.config import BenchmarkConfig, UNIT_PHASES, unit_for_iel
+from repro.coconut.metrics import MetricSummary, PhaseMetrics, aggregate, confidence_interval
+from repro.coconut.provisioner import Provisioner
+from repro.coconut.results import PhaseResult, ResultStore, UnitResult
+from repro.coconut.runner import BenchmarkRunner
+from repro.coconut.workload import WorkloadPlan
+
+__all__ = [
+    "BenchmarkConfig",
+    "BenchmarkRunner",
+    "CoconutClient",
+    "MetricSummary",
+    "PhaseMetrics",
+    "PhaseResult",
+    "Provisioner",
+    "ResultStore",
+    "UNIT_PHASES",
+    "UnitResult",
+    "WorkloadPlan",
+    "aggregate",
+    "confidence_interval",
+    "make_driver",
+    "unit_for_iel",
+]

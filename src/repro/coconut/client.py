@@ -1,0 +1,187 @@
+"""The COCONUT client application.
+
+One client (Section 4.3) runs four workload threads that send payload
+bundles sequentially — without waiting for finalization confirmations —
+for the send window, rate-limited to the configured payloads/second per
+client. The client keeps listening for finalization notifications for a
+grace period after sending stops and terminates at the total deadline.
+All timestamps of Figure 2 are taken here, on the client: ``starttime``
+just before a payload is sent, ``endtime`` when its confirmation (a
+commit on *all* nodes) arrives.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.coconut.bal import Driver, make_driver
+from repro.coconut.config import BenchmarkConfig
+from repro.coconut.workload import WorkloadPlan
+from repro.net import Endpoint, Message
+from repro.sim.events import Event
+from repro.sim.kernel import Simulator
+from repro.storage import Payload
+
+
+@dataclasses.dataclass
+class PayloadRecord:
+    """The client-side life of one payload."""
+
+    payload_id: str
+    phase: str
+    start_time: float
+    end_time: typing.Optional[float] = None
+    status: str = "pending"
+
+    @property
+    def received(self) -> bool:
+        """Whether a finalization confirmation arrived in time."""
+        return self.status == "received"
+
+    @property
+    def latency(self) -> float:
+        """End-to-end finalization latency (FLS)."""
+        if self.end_time is None:
+            raise ValueError(f"payload {self.payload_id} has no end time")
+        return self.end_time - self.start_time
+
+
+class CoconutClient(Endpoint):
+    """One COCONUT client application endpoint."""
+
+    def __init__(
+        self,
+        client_id: str,
+        sim: Simulator,
+        config: BenchmarkConfig,
+        gateway_id: str,
+    ) -> None:
+        super().__init__(client_id)
+        self.sim = sim
+        self.config = config
+        self.gateway_id = gateway_id
+        self.driver: Driver = make_driver(
+            config.system,
+            client_id,
+            ops_per_transaction=config.ops_per_transaction,
+            txs_per_batch=config.txs_per_batch,
+        )
+        self.plan = WorkloadPlan(client_id, config.workload_threads)
+        #: phase -> payload_id -> record.
+        self.records: typing.Dict[str, typing.Dict[str, PayloadRecord]] = {}
+        self._payload_phase: typing.Dict[str, str] = {}
+        self._listen_deadline: typing.Dict[str, float] = {}
+        self.ignored_late_receipts = 0
+
+    # ------------------------------------------------------------------
+    # Driving a phase
+
+    def run_phase(self, phase: str, start_at: float) -> Event:
+        """Launch the phase's workload threads; fires at client shutdown."""
+        config = self.config
+        self.records.setdefault(phase, {})
+        send_deadline = start_at + config.scaled_send
+        self._listen_deadline[phase] = start_at + config.scaled_listen
+        threads = [
+            self.sim.spawn(
+                self._workload_thread(phase, thread, start_at, send_deadline),
+                name=f"{self.endpoint_id}-{phase}-t{thread}",
+            )
+            for thread in range(config.workload_threads)
+        ]
+        done = self.sim.event(name=f"{self.endpoint_id}-{phase}-done")
+        shutdown_at = start_at + config.scaled_total
+        # The threads stop at the send deadline; the client itself (and
+        # its event listening) terminates at the total deadline.
+        self.sim.schedule(max(0.0, shutdown_at - self.sim.now), lambda: done.succeed(threads))
+        return done
+
+    def _workload_thread(
+        self, phase: str, thread: int, start_at: float, send_deadline: float
+    ) -> typing.Generator:
+        config = self.config
+        group = self.driver.group_size
+        # Each thread carries its share of the client's rate limit; a
+        # submission carries `group` payloads, so submissions are spaced
+        # by group * threads / rate.
+        interval = group * config.workload_threads / config.rate_limit
+        if self.sim.now < start_at:
+            yield self.sim.timeout(start_at - self.sim.now)
+        while self.sim.now < send_deadline:
+            payloads = [
+                Payload.create(
+                    self.endpoint_id,
+                    config.iel,
+                    phase,
+                    self.plan.args_for(config.iel, phase, thread),
+                )
+                for __ in range(group)
+            ]
+            now = self.sim.now
+            phase_records = self.records[phase]
+            for payload in payloads:
+                phase_records[payload.payload_id] = PayloadRecord(
+                    payload_id=payload.payload_id,
+                    phase=phase,
+                    start_time=now,
+                )
+                self._payload_phase[payload.payload_id] = phase
+            bundle = self.driver.wrap(payloads)
+            self.send(
+                self.gateway_id,
+                "client/submit",
+                bundle,
+                size_bytes=getattr(bundle, "size_bytes", 256),
+            )
+            yield self.sim.timeout(interval)
+
+    # ------------------------------------------------------------------
+    # Event collection
+
+    def on_message(self, message: Message) -> None:
+        if message.kind == "client/receipt":
+            for receipt in message.payload:
+                self._record_end(receipt.payload_id, "received" if receipt.is_success else "failed")
+        elif message.kind == "client/reject":
+            reject = message.payload
+            for payload_id in reject.payload_ids:
+                self._record_end(payload_id, "failed")
+
+    def _record_end(self, payload_id: str, status: str) -> None:
+        phase = self._payload_phase.get(payload_id)
+        if phase is None:
+            return
+        if self.sim.now > self._listen_deadline.get(phase, float("inf")):
+            self.ignored_late_receipts += 1
+            return
+        record = self.records[phase][payload_id]
+        if record.end_time is not None:
+            return
+        record.end_time = self.sim.now
+        record.status = status
+
+    # ------------------------------------------------------------------
+    # Phase accounting
+
+    def phase_records(self, phase: str) -> typing.List[PayloadRecord]:
+        """All records of one phase."""
+        return list(self.records.get(phase, {}).values())
+
+    def sent_count(self, phase: str) -> int:
+        """Payloads this client offered in one phase."""
+        return len(self.records.get(phase, {}))
+
+    def received_records(self, phase: str) -> typing.List[PayloadRecord]:
+        """Records that got a timely finalization confirmation."""
+        return [r for r in self.phase_records(phase) if r.received]
+
+    def first_send_time(self, phase: str) -> typing.Optional[float]:
+        """t_fstx contribution of this client."""
+        records = self.phase_records(phase)
+        return min((r.start_time for r in records), default=None)
+
+    def last_receive_time(self, phase: str) -> typing.Optional[float]:
+        """t_lrtx contribution of this client."""
+        received = self.received_records(phase)
+        return max((r.end_time for r in received), default=None)

@@ -1,0 +1,149 @@
+"""The evaluation metrics of Section 4.5.
+
+* Formula (1) — MFLS: the mean finalization latency, averaged first over
+  a repetition's transactions and then over repetitions.
+* Formula (2) — MTPS: received transactions divided by the span from the
+  first send (t_fstx) to the last confirmation (t_lrtx), across all
+  clients, averaged over repetitions.
+* Formula (3) — Duration: t_lrtx - t_fstx, which exposes liveness
+  violations (a system that stops early, or runs past the send window).
+* NoT: expected / received / not received transaction counts.
+
+Per-repetition values carry SD, SEM and the 95% confidence interval
+(Student t, matching the paper's r=3 statistics).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+from repro.coconut.client import CoconutClient
+
+
+def t_critical(df: int, two_sided_alpha: float = 0.05) -> float:
+    """Student-t critical value for a two-sided interval."""
+    if df < 1:
+        return 0.0
+    from scipy import stats
+
+    return float(stats.t.ppf(1.0 - two_sided_alpha / 2.0, df))
+
+
+@dataclasses.dataclass(frozen=True)
+class MetricSummary:
+    """Mean with dispersion statistics across repetitions."""
+
+    mean: float
+    sd: float
+    sem: float
+    ci95: float
+
+    def format(self, digits: int = 2) -> str:
+        """"12.84 +-0.38" style rendering."""
+        return f"{self.mean:.{digits}f} ±{self.ci95:.{digits}f}"
+
+
+def aggregate(values: typing.Sequence[float]) -> MetricSummary:
+    """Summarise one metric across repetitions (Section 5 statistics)."""
+    if not values:
+        return MetricSummary(0.0, 0.0, 0.0, 0.0)
+    n = len(values)
+    mean = sum(values) / n
+    if n < 2:
+        return MetricSummary(mean, 0.0, 0.0, 0.0)
+    variance = sum((v - mean) ** 2 for v in values) / (n - 1)
+    sd = math.sqrt(variance)
+    sem = sd / math.sqrt(n)
+    ci95 = t_critical(n - 1) * sem
+    return MetricSummary(mean, sd, sem, ci95)
+
+
+def confidence_interval(values: typing.Sequence[float]) -> typing.Tuple[float, float]:
+    """The 95% CI bounds for a metric's repetitions."""
+    summary = aggregate(values)
+    return summary.mean - summary.ci95, summary.mean + summary.ci95
+
+
+@dataclasses.dataclass
+class PhaseMetrics:
+    """One repetition's end-to-end numbers for one phase."""
+
+    phase: str
+    repetition: int
+    expected: int
+    received: int
+    failed: int
+    t_first_send: float
+    t_last_receive: float
+    duration: float
+    tps: float
+    mean_fls: float
+
+    @property
+    def not_received(self) -> int:
+        """Expected transactions that never confirmed."""
+        return self.expected - self.received
+
+    @classmethod
+    def from_clients(
+        cls, clients: typing.Sequence[CoconutClient], phase: str, repetition: int
+    ) -> "PhaseMetrics":
+        """Compute Formulas (1)-(3) from the clients of one repetition."""
+        expected = sum(client.sent_count(phase) for client in clients)
+        received_records = [
+            record for client in clients for record in client.received_records(phase)
+        ]
+        failed = sum(
+            1
+            for client in clients
+            for record in client.phase_records(phase)
+            if record.status == "failed"
+        )
+        first_sends = [
+            t for t in (client.first_send_time(phase) for client in clients) if t is not None
+        ]
+        last_receives = [
+            t for t in (client.last_receive_time(phase) for client in clients) if t is not None
+        ]
+        if not received_records or not first_sends or not last_receives:
+            # Total failure: the paper reports 0 MTPS / 0 s (Table 15).
+            return cls(
+                phase=phase,
+                repetition=repetition,
+                expected=expected,
+                received=0,
+                failed=failed,
+                t_first_send=min(first_sends) if first_sends else 0.0,
+                t_last_receive=0.0,
+                duration=0.0,
+                tps=0.0,
+                mean_fls=0.0,
+            )
+        t_fstx = min(first_sends)
+        t_lrtx = max(last_receives)
+        duration = t_lrtx - t_fstx
+        tps = len(received_records) / duration if duration > 0 else 0.0
+        mean_fls = sum(record.latency for record in received_records) / len(received_records)
+        return cls(
+            phase=phase,
+            repetition=repetition,
+            expected=expected,
+            received=len(received_records),
+            failed=failed,
+            t_first_send=t_fstx,
+            t_last_receive=t_lrtx,
+            duration=duration,
+            tps=tps,
+            mean_fls=mean_fls,
+        )
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PhaseMetrics":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**data)

@@ -1,0 +1,85 @@
+"""Benchmark orchestration.
+
+Runs one benchmark unit: for each repetition, provision a fresh rig
+(Section 4.1), wait out the system's stabilization time (Section 4.4),
+then execute the unit's phases back to back — every phase is a full
+send/listen/terminate cycle (Section 4.3) — and compute the Section 4.5
+metrics from the clients' records.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.coconut.config import BenchmarkConfig
+from repro.coconut.metrics import PhaseMetrics
+from repro.coconut.provisioner import Provisioner, Rig
+from repro.coconut.results import PhaseResult, ResultStore, UnitResult
+
+
+class BenchmarkRunner:
+    """Executes benchmark units and aggregates their results."""
+
+    def __init__(
+        self,
+        store: typing.Optional[ResultStore] = None,
+        provisioner: typing.Optional[Provisioner] = None,
+        progress: typing.Optional[typing.Callable[[str], None]] = None,
+    ) -> None:
+        self.store = store
+        self.provisioner = provisioner or Provisioner()
+        self.progress = progress or (lambda message: None)
+        #: The most recent repetition's rig, kept for post-run
+        #: inspection (block statistics, chain validation).
+        self.last_rig: typing.Optional[Rig] = None
+
+    def run(self, config: BenchmarkConfig) -> UnitResult:
+        """Run one benchmark unit, all repetitions, all phases."""
+        phases = config.phase_sequence
+        per_phase: typing.Dict[str, typing.List[PhaseMetrics]] = {p: [] for p in phases}
+        for repetition in range(config.repetitions):
+            self.progress(f"{config.label()} repetition {repetition + 1}/{config.repetitions}")
+            rig = self.provisioner.provision(config, repetition)
+            metrics = self._run_repetition(rig, config, repetition)
+            self.last_rig = rig
+            for phase, phase_metrics in metrics.items():
+                per_phase[phase].append(phase_metrics)
+        result = UnitResult(
+            label=config.label(),
+            system=config.system,
+            iel=config.iel,
+            aggregate_rate=config.aggregate_rate,
+            params=dict(config.params),
+            scale=config.scale,
+            phases={
+                phase: PhaseResult(phase=phase, repetitions=reps)
+                for phase, reps in per_phase.items()
+            },
+        )
+        if self.store is not None:
+            self.store.save(result)
+        return result
+
+    def _run_repetition(
+        self, rig: Rig, config: BenchmarkConfig, repetition: int
+    ) -> typing.Dict[str, PhaseMetrics]:
+        """One repetition: run every phase of the unit sequentially."""
+        clock = rig.system.stabilization_time
+        metrics: typing.Dict[str, PhaseMetrics] = {}
+        for phase in config.phase_sequence:
+            # All clients wait for each other and start together
+            # (Section 4.3: uniform load distribution).
+            for client in rig.clients:
+                client.run_phase(phase, clock)
+            clock += config.scaled_total
+            rig.sim.run(until=clock)
+            metrics[phase] = PhaseMetrics.from_clients(rig.clients, phase, repetition)
+            self.progress(
+                f"  {phase}: {metrics[phase].received}/{metrics[phase].expected} received, "
+                f"tps={metrics[phase].tps:.2f}, fls={metrics[phase].mean_fls:.2f}s"
+            )
+        return metrics
+
+    def run_many(self, configs: typing.Iterable[BenchmarkConfig]) -> typing.List[UnitResult]:
+        """Run a parameter sweep."""
+        return [self.run(config) for config in configs]

@@ -1,0 +1,73 @@
+"""Workload generation for the three benchmark units.
+
+Every workload thread owns a disjoint key/account space so the KeyValue
+benchmark never writes duplicate keys (Section 4.1). Later phases of a
+unit replay the earlier phases' identifiers: Get reads the keys Set
+wrote, SendPayment moves money between consecutively created accounts
+(account_n -> account_{n+1} — the serialisability stressor), Balance
+checks the accounts in order.
+"""
+
+from __future__ import annotations
+
+import typing
+
+
+class WorkloadPlan:
+    """Deterministic argument streams for one client's workload threads."""
+
+    def __init__(self, client_id: str, threads: int) -> None:
+        if threads < 1:
+            raise ValueError(f"need at least one workload thread, got {threads}")
+        self.client_id = client_id
+        self.threads = threads
+        self._counters: typing.Dict[typing.Tuple[int, str], int] = {}
+
+    def _next_index(self, thread: int, phase: str) -> int:
+        key = (thread, phase)
+        self._counters[key] = self._counters.get(key, 0) + 1
+        return self._counters[key]
+
+    def _key(self, thread: int, index: int) -> str:
+        return f"{self.client_id}:t{thread}:k{index}"
+
+    def _account(self, thread: int, index: int) -> str:
+        return f"{self.client_id}:t{thread}:a{index}"
+
+    def args_for(self, iel: str, phase: str, thread: int) -> typing.Dict[str, object]:
+        """The next payload's arguments for one thread in one phase."""
+        if not 0 <= thread < self.threads:
+            raise IndexError(f"thread {thread} out of range 0..{self.threads - 1}")
+        index = self._next_index(thread, phase)
+        if iel == "DoNothing":
+            return {}
+        if iel == "KeyValue":
+            if phase == "Set":
+                return {"key": self._key(thread, index), "value": f"value-{index}"}
+            if phase == "Get":
+                return {"key": self._key(thread, index)}
+        if iel == "BankingApp":
+            if phase == "CreateAccount":
+                return {
+                    "account": self._account(thread, index),
+                    "checking": 1_000,
+                    "saving": 500,
+                }
+            if phase == "SendPayment":
+                # account_n pays account_{n+1}: consecutive payments share
+                # an account, producing overwriting transactions within a
+                # block (or consumed states on Corda) — Section 4.1.
+                return {
+                    "source": self._account(thread, index),
+                    "destination": self._account(thread, index + 1),
+                    "amount": 1,
+                }
+            if phase == "Balance":
+                return {"account": self._account(thread, index)}
+        raise KeyError(f"no workload for IEL {iel!r} phase {phase!r}")
+
+    def generated_count(self, phase: str) -> int:
+        """Payloads generated so far in one phase, across threads."""
+        return sum(
+            count for (__, phase_name), count in self._counters.items() if phase_name == phase
+        )

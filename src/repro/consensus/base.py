@@ -1,0 +1,138 @@
+"""Shared machinery for consensus engine replicas.
+
+Every engine is instantiated once per replica and talks to its peers
+through an :class:`EngineContext`, which hides the node plumbing: sending
+and broadcasting protocol messages, timers, RNG, and the upcall that
+delivers a :class:`Decision` to the hosting node. Engines agree on opaque
+*proposals* (the node layer passes block-shaped payloads) identified by a
+monotonically increasing sequence number.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    import random
+
+    from repro.sim.events import Event
+    from repro.sim.kernel import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class Decision:
+    """One agreed slot in the total order."""
+
+    sequence: int
+    proposal: object
+    proposer: str
+    decided_at: float
+
+
+class EngineContext:
+    """The interface an engine replica uses to reach the outside world.
+
+    The hosting node constructs one context per engine replica, wiring
+    ``send_fn`` to the network, ``decide_fn`` to its commit path and
+    ``timer_fn`` to the simulator.
+    """
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        replica_id: str,
+        peers: typing.Sequence[str],
+        send_fn: typing.Callable[[str, str, object, int], None],
+        decide_fn: typing.Callable[[Decision], None],
+        rng: "random.Random",
+    ) -> None:
+        self.sim = sim
+        self.replica_id = replica_id
+        self.peers = list(peers)  # includes replica_id, stable order
+        self._send_fn = send_fn
+        self._decide_fn = decide_fn
+        self.rng = rng
+        if replica_id not in self.peers:
+            raise ValueError(f"replica {replica_id!r} missing from peer list {self.peers}")
+
+    @property
+    def n(self) -> int:
+        """Replica-group size."""
+        return len(self.peers)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time."""
+        return self.sim.now
+
+    def index_of(self, replica_id: str) -> int:
+        """Stable index of a replica in the group."""
+        return self.peers.index(replica_id)
+
+    def send(self, dst: str, kind: str, payload: object, size_bytes: int = 256) -> None:
+        """Send a protocol message to one peer."""
+        self._send_fn(dst, kind, payload, size_bytes)
+
+    def broadcast(self, kind: str, payload: object, size_bytes: int = 256) -> None:
+        """Send a protocol message to every *other* peer."""
+        for peer in self.peers:
+            if peer != self.replica_id:
+                self._send_fn(peer, kind, payload, size_bytes)
+
+    def decide(self, decision: Decision) -> None:
+        """Deliver a decided slot to the hosting node."""
+        self._decide_fn(decision)
+
+    def after(self, delay: float, callback: typing.Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        self.sim.schedule(delay, callback)
+
+    def timeout(self, delay: float) -> "Event":
+        """A timeout event (for generator-style engine processes)."""
+        return self.sim.timeout(delay)
+
+
+class ReplicaEngine:
+    """Base class for consensus engine replicas.
+
+    Subclasses implement :meth:`start`, :meth:`on_message` and the
+    protocol itself; the hosting node calls :meth:`submit_proposal` when
+    it has a block ready (leader-based engines queue it until this
+    replica leads).
+    """
+
+    #: Message kinds handled by this engine (informational).
+    message_kinds: typing.Tuple[str, ...] = ()
+
+    def __init__(self, context: EngineContext) -> None:
+        self.context = context
+        self.decided_count = 0
+
+    @property
+    def replica_id(self) -> str:
+        """This replica's id."""
+        return self.context.replica_id
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the replica is currently crashed."""
+        return bool(getattr(self, "_stopped", False))
+
+    def start(self) -> None:
+        """Begin protocol operation (timers, first view)."""
+
+    def stop(self) -> None:
+        """Cease protocol operation (crash simulation)."""
+
+    def on_message(self, kind: str, sender: str, payload: object) -> None:
+        """Handle a protocol message from a peer."""
+        raise NotImplementedError
+
+    def submit_proposal(self, proposal: object) -> None:
+        """Offer a proposal (a block) for ordering."""
+        raise NotImplementedError
+
+    def _record_decision(self, decision: Decision) -> None:
+        self.decided_count += 1
+        self.context.decide(decision)

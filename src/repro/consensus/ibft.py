@@ -1,0 +1,249 @@
+"""Istanbul BFT — Quorum's consensus engine.
+
+IBFT (the paper's citation [44], Moniz 2020) decides one height at a
+time. Each height runs in rounds: the proposer of round ``r`` for height
+``h`` is ``validators[(h + r) mod n]``; a round goes pre-prepare →
+prepare → commit with BFT quorums, and a stalled round is abandoned
+through round-change votes, rotating the proposer.
+
+Quorum paces proposals with ``istanbul.blockperiod``: the node layer
+calls :meth:`IbftEngine.maybe_propose` on that timer, and the proposer
+inserts whatever block the node's transaction pool yields — possibly an
+empty block, which is exactly what the paper observes during the
+blockperiod <= 2 s liveness failure (Section 5.5).
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.consensus.base import Decision, EngineContext, ReplicaEngine
+from repro.consensus.pbft import proposal_digest
+from repro.crypto.signatures import quorum_size
+
+
+class IbftEngine(ReplicaEngine):
+    """One IBFT validator."""
+
+    message_kinds = ("ibft/pre_prepare", "ibft/prepare", "ibft/commit", "ibft/round_change")
+
+    def __init__(
+        self,
+        context: EngineContext,
+        proposal_factory: typing.Optional[typing.Callable[[int], object]] = None,
+        round_timeout: float = 10.0,
+    ) -> None:
+        super().__init__(context)
+        self.proposal_factory = proposal_factory
+        self.round_timeout = round_timeout
+        self.height = 0
+        self.round = 0
+        self.proposal: object = None
+        self.digest = ""
+        self.proposer: str = ""
+        self._prepares: typing.Set[str] = set()
+        self._commits: typing.Set[str] = set()
+        self._sent_prepare = False
+        self._sent_commit = False
+        self._round_change_votes: typing.Dict[typing.Tuple[int, int], typing.Set[str]] = {}
+        self._round_generation = 0
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Roles
+
+    def proposer_for(self, height: int, round_number: int) -> str:
+        """The rotating proposer for a (height, round) pair."""
+        return self.context.peers[(height + round_number) % self.context.n]
+
+    @property
+    def is_proposer(self) -> bool:
+        """Whether this validator proposes the current round."""
+        return self.replica_id == self.proposer_for(self.height, self.round) and not self._stopped
+
+    def stop(self) -> None:
+        """Crash this validator."""
+        self._stopped = True
+
+    def recover(self) -> None:
+        """Restart after a crash."""
+        self._stopped = False
+
+    def start(self) -> None:
+        """Arm the first round timer."""
+        self._arm_round_timer()
+
+    # ------------------------------------------------------------------
+    # Proposing
+
+    def maybe_propose(self) -> bool:
+        """Blockperiod tick: propose for the current height if proposer.
+
+        Returns whether a proposal was broadcast.
+        """
+        if self._stopped or not self.is_proposer or self.proposal is not None:
+            return False
+        if self.proposal_factory is None:
+            return False
+        proposal = self.proposal_factory(self.height)
+        if proposal is None:
+            return False
+        self.submit_proposal(proposal)
+        return True
+
+    def submit_proposal(self, proposal: object) -> None:
+        """Broadcast pre-prepare for the current (height, round)."""
+        if not self.is_proposer or self.proposal is not None:
+            return
+        self._accept_proposal(proposal, self.replica_id)
+        self.context.broadcast(
+            "ibft/pre_prepare",
+            {
+                "height": self.height,
+                "round": self.round,
+                "proposal": proposal,
+                "digest": self.digest,
+            },
+            size_bytes=getattr(proposal, "size_bytes", 512),
+        )
+        self._send_prepare()
+
+    def _accept_proposal(self, proposal: object, proposer: str) -> None:
+        self.proposal = proposal
+        self.digest = proposal_digest(proposal)
+        self.proposer = proposer
+
+    # ------------------------------------------------------------------
+    # Message handling
+
+    def on_message(self, kind: str, sender: str, payload: object) -> None:
+        if self._stopped:
+            return
+        message = typing.cast(dict, payload)
+        if kind == "ibft/round_change":
+            self._on_round_change(sender, message)
+            return
+        if message["height"] != self.height or message["round"] != self.round:
+            return  # stale or future round; IBFT is height-sequential
+        if kind == "ibft/pre_prepare":
+            self._on_pre_prepare(sender, message)
+        elif kind == "ibft/prepare":
+            self._on_prepare(sender, message)
+        elif kind == "ibft/commit":
+            self._on_commit(sender, message)
+
+    def _on_pre_prepare(self, sender: str, message: dict) -> None:
+        if sender != self.proposer_for(self.height, self.round):
+            return
+        if self.proposal is not None:
+            return
+        self._accept_proposal(message["proposal"], sender)
+        self._send_prepare()
+
+    def _send_prepare(self) -> None:
+        if self._sent_prepare:
+            return
+        self._sent_prepare = True
+        self._prepares.add(self.replica_id)
+        self.context.broadcast(
+            "ibft/prepare",
+            {"height": self.height, "round": self.round, "digest": self.digest},
+        )
+        self._check_prepared()
+
+    def _on_prepare(self, sender: str, message: dict) -> None:
+        if self.digest and message["digest"] != self.digest:
+            return
+        self._prepares.add(sender)
+        self._check_prepared()
+
+    def _check_prepared(self) -> None:
+        if self._sent_commit or self.proposal is None:
+            return
+        if len(self._prepares) >= quorum_size(self.context.n, "bft"):
+            self._sent_commit = True
+            self._commits.add(self.replica_id)
+            self.context.broadcast(
+                "ibft/commit",
+                {"height": self.height, "round": self.round, "digest": self.digest},
+            )
+            self._check_committed()
+
+    def _on_commit(self, sender: str, message: dict) -> None:
+        if self.digest and message["digest"] != self.digest:
+            return
+        self._commits.add(sender)
+        self._check_committed()
+
+    def _check_committed(self) -> None:
+        if self.proposal is None or not self._sent_commit:
+            return
+        if len(self._commits) < quorum_size(self.context.n, "bft"):
+            return
+        decision = Decision(
+            sequence=self.height,
+            proposal=self.proposal,
+            proposer=self.proposer,
+            decided_at=self.context.now,
+        )
+        self._enter_height(self.height + 1)
+        self._record_decision(decision)
+
+    def _enter_height(self, height: int) -> None:
+        self.height = height
+        self.round = 0
+        self._reset_round_state()
+        self._arm_round_timer()
+
+    def _reset_round_state(self) -> None:
+        self.proposal = None
+        self.digest = ""
+        self.proposer = ""
+        self._prepares = set()
+        self._commits = set()
+        self._sent_prepare = False
+        self._sent_commit = False
+
+    # ------------------------------------------------------------------
+    # Round change
+
+    def _arm_round_timer(self) -> None:
+        self._round_generation += 1
+        generation = self._round_generation
+        # Exponential backoff per round, as go-ethereum's IBFT does.
+        delay = self.round_timeout * (2 ** min(self.round, 6))
+        self.context.after(delay, lambda: self._on_round_timeout(generation))
+
+    def _on_round_timeout(self, generation: int) -> None:
+        if self._stopped or generation != self._round_generation:
+            return
+        self._vote_round_change(self.height, self.round + 1)
+
+    def _vote_round_change(self, height: int, new_round: int) -> None:
+        votes = self._round_change_votes.setdefault((height, new_round), set())
+        if self.replica_id in votes:
+            return
+        votes.add(self.replica_id)
+        self.context.broadcast("ibft/round_change", {"height": height, "round": new_round})
+        self._maybe_enter_round(height, new_round)
+
+    def _on_round_change(self, sender: str, message: dict) -> None:
+        height, new_round = message["height"], message["round"]
+        if height != self.height or new_round <= self.round:
+            return
+        votes = self._round_change_votes.setdefault((height, new_round), set())
+        votes.add(sender)
+        f_plus_one = (self.context.n - 1) // 3 + 1
+        if len(votes) >= f_plus_one:
+            self._vote_round_change(height, new_round)
+        self._maybe_enter_round(height, new_round)
+
+    def _maybe_enter_round(self, height: int, new_round: int) -> None:
+        if height != self.height or new_round <= self.round:
+            return
+        votes = self._round_change_votes.get((height, new_round), set())
+        if len(votes) < quorum_size(self.context.n, "bft"):
+            return
+        self.round = new_round
+        self._reset_round_state()
+        self._arm_round_timer()

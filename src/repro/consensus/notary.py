@@ -1,0 +1,72 @@
+"""The Corda notary uniqueness service.
+
+Corda has no blocks and no global ordering; the only consensus component
+is the notary, which checks that a transaction's input states have not
+been consumed before and signs it (Section 2). The notary is a bounded
+service: requests queue for one of ``workers`` signing slots and each
+request costs ``service_time`` seconds — Corda OS notaries process
+serially (one worker), Corda Enterprise in parallel.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.sim.kernel import Simulator
+from repro.sim.process import Process
+from repro.sim.resources import Resource
+from repro.storage.utxo import StateRef
+
+
+class NotaryService:
+    """A (cluster of) notary nodes sharing one spent-state set."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        name: str = "notary",
+        workers: int = 1,
+        service_time: float = 0.01,
+    ) -> None:
+        if service_time < 0:
+            raise ValueError(f"negative service_time: {service_time}")
+        self.sim = sim
+        self.name = name
+        self.service_time = service_time
+        self.pool = Resource(sim, capacity=workers, name=f"{name}-workers")
+        self._spent: typing.Set[StateRef] = set()
+        self.accepted = 0
+        self.rejected = 0
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests currently waiting for a signing slot."""
+        return self.pool.queued
+
+    def is_spent(self, ref: StateRef) -> bool:
+        """Whether a state reference was already consumed."""
+        return ref in self._spent
+
+    def notarise(self, tx_id: str, inputs: typing.Sequence[StateRef]) -> Process:
+        """Submit a notarisation request.
+
+        Returns a process whose value is ``(ok, conflicting_refs)``. The
+        check-and-mark is atomic: either all inputs are marked spent, or
+        none are and the conflicting refs are reported.
+        """
+        return self.sim.spawn(self._notarise(tx_id, list(inputs)), name=f"notarise:{tx_id}")
+
+    def _notarise(self, tx_id: str, inputs: typing.List[StateRef]) -> typing.Generator:
+        yield self.pool.acquire()
+        try:
+            if self.service_time > 0:
+                yield self.sim.timeout(self.service_time)
+            conflicting = [ref for ref in inputs if ref in self._spent]
+            if conflicting:
+                self.rejected += 1
+                return False, conflicting
+            self._spent.update(inputs)
+            self.accepted += 1
+            return True, []
+        finally:
+            self.pool.release()

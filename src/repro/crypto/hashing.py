@@ -1,0 +1,68 @@
+"""Content hashing over a canonical encoding.
+
+Blocks, transactions and states are plain Python structures; hashing them
+requires a stable byte encoding. We use a small canonical encoder (sorted
+dict keys, explicit type tags) feeding SHA-256, so equal values always hash
+equal and different values collide only with SHA-256 probability.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import typing
+
+#: The parent-hash of the first block in every chain.
+GENESIS_HASH = "0" * 64
+
+
+def _encode(value: object, out: typing.List[bytes]) -> None:
+    """Append a canonical, type-tagged encoding of ``value`` to ``out``."""
+    if value is None:
+        out.append(b"n")
+    elif isinstance(value, bool):
+        out.append(b"b1" if value else b"b0")
+    elif isinstance(value, int):
+        out.append(b"i" + str(value).encode("ascii") + b";")
+    elif isinstance(value, float):
+        out.append(b"f" + repr(value).encode("ascii") + b";")
+    elif isinstance(value, str):
+        data = value.encode("utf-8")
+        out.append(b"s" + str(len(data)).encode("ascii") + b":")
+        out.append(data)
+    elif isinstance(value, bytes):
+        out.append(b"y" + str(len(value)).encode("ascii") + b":")
+        out.append(value)
+    elif isinstance(value, (list, tuple)):
+        out.append(b"l" + str(len(value)).encode("ascii") + b":")
+        for item in value:
+            _encode(item, out)
+        out.append(b";")
+    elif isinstance(value, dict):
+        out.append(b"d" + str(len(value)).encode("ascii") + b":")
+        for key in sorted(value, key=repr):
+            _encode(key, out)
+            _encode(value[key], out)
+        out.append(b";")
+    elif hasattr(value, "canonical_tuple"):
+        # Domain objects expose a canonical_tuple() for hashing.
+        out.append(b"o")
+        _encode(value.canonical_tuple(), out)
+    else:
+        raise TypeError(f"cannot canonically encode {type(value).__name__}")
+
+
+def canonical_bytes(value: object) -> bytes:
+    """Return the canonical byte encoding of ``value``."""
+    out: typing.List[bytes] = []
+    _encode(value, out)
+    return b"".join(out)
+
+
+def hash_bytes(data: bytes) -> str:
+    """SHA-256 hex digest of raw bytes."""
+    return hashlib.sha256(data).hexdigest()
+
+
+def hash_object(value: object) -> str:
+    """SHA-256 hex digest of the canonical encoding of ``value``."""
+    return hash_bytes(canonical_bytes(value))

@@ -1,0 +1,82 @@
+"""Merkle trees over transaction lists.
+
+Block headers commit to their transactions through a Merkle root; clients
+could verify inclusion proofs without the full block. The tree duplicates
+the last node on odd levels (Bitcoin-style), so any list length works.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.crypto.hashing import hash_bytes, hash_object
+
+
+class MerkleTree:
+    """A static Merkle tree built from a list of hashable leaves."""
+
+    def __init__(self, leaves: typing.Sequence[object]) -> None:
+        self.leaf_hashes = [hash_object(leaf) for leaf in leaves]
+        self._levels = self._build(self.leaf_hashes)
+
+    @staticmethod
+    def _pair_hash(left: str, right: str) -> str:
+        return hash_bytes((left + right).encode("ascii"))
+
+    @classmethod
+    def _build(cls, leaf_hashes: typing.List[str]) -> typing.List[typing.List[str]]:
+        if not leaf_hashes:
+            return [[hash_bytes(b"empty-merkle-tree")]]
+        levels = [list(leaf_hashes)]
+        while len(levels[-1]) > 1:
+            current = levels[-1]
+            if len(current) % 2 == 1:
+                current = current + [current[-1]]
+            parents = [
+                cls._pair_hash(current[i], current[i + 1]) for i in range(0, len(current), 2)
+            ]
+            levels.append(parents)
+        return levels
+
+    @property
+    def root(self) -> str:
+        """The Merkle root hash."""
+        return self._levels[-1][0]
+
+    def __len__(self) -> int:
+        return len(self.leaf_hashes)
+
+    def proof(self, index: int) -> typing.List[typing.Tuple[str, str]]:
+        """Inclusion proof for leaf ``index`` as (sibling_hash, side) pairs.
+
+        ``side`` is ``"left"`` when the sibling is the left operand of the
+        pair hash.
+        """
+        if not 0 <= index < len(self.leaf_hashes):
+            raise IndexError(f"leaf index {index} out of range")
+        path = []
+        position = index
+        for level in self._levels[:-1]:
+            nodes = level if len(level) % 2 == 0 else level + [level[-1]]
+            if position % 2 == 0:
+                path.append((nodes[position + 1], "right"))
+            else:
+                path.append((nodes[position - 1], "left"))
+            position //= 2
+        return path
+
+    @classmethod
+    def verify_proof(
+        cls,
+        leaf: object,
+        proof: typing.Sequence[typing.Tuple[str, str]],
+        root: str,
+    ) -> bool:
+        """Check an inclusion proof against a known root."""
+        current = hash_object(leaf)
+        for sibling, side in proof:
+            if side == "left":
+                current = cls._pair_hash(sibling, current)
+            else:
+                current = cls._pair_hash(current, sibling)
+        return current == root

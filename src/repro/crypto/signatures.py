@@ -1,0 +1,125 @@
+"""Simulated digital signatures with a cost model.
+
+A :class:`Signer` produces :class:`Signature` tokens binding a key to a
+message digest; verification checks the binding structurally. Actual
+elliptic-curve maths is replaced by an HMAC-style hash — what matters for
+the reproduction is the *time* signing and verifying take inside the node
+models, which the per-system profiles configure.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import itertools
+
+from repro.crypto.hashing import hash_object
+
+_key_counter = itertools.count(1)
+
+
+class SignatureError(Exception):
+    """A signature failed verification."""
+
+
+@dataclasses.dataclass(frozen=True)
+class KeyPair:
+    """An identity's signing key material."""
+
+    owner: str
+    secret: str
+    public: str
+
+    @classmethod
+    def generate(cls, owner: str) -> "KeyPair":
+        """Deterministically derive a key pair for ``owner``."""
+        serial = next(_key_counter)
+        secret = hashlib.sha256(f"secret:{owner}:{serial}".encode("utf-8")).hexdigest()
+        public = hashlib.sha256(f"public:{secret}".encode("utf-8")).hexdigest()
+        return cls(owner=owner, secret=secret, public=public)
+
+
+@dataclasses.dataclass(frozen=True)
+class Signature:
+    """A signature over a message digest by one key."""
+
+    signer: str
+    public_key: str
+    digest: str
+    token: str
+
+
+class Signer:
+    """Signs and verifies messages for one identity."""
+
+    def __init__(self, keypair: KeyPair) -> None:
+        self.keypair = keypair
+
+    @staticmethod
+    def _token(secret: str, digest: str) -> str:
+        return hashlib.sha256(f"{secret}:{digest}".encode("ascii")).hexdigest()
+
+    def sign(self, message: object) -> Signature:
+        """Sign the canonical digest of ``message``."""
+        digest = hash_object(message)
+        return Signature(
+            signer=self.keypair.owner,
+            public_key=self.keypair.public,
+            digest=digest,
+            token=self._token(self.keypair.secret, digest),
+        )
+
+    @staticmethod
+    def verify(signature: Signature, message: object, keypair: KeyPair) -> bool:
+        """Check ``signature`` covers ``message`` and was made by ``keypair``.
+
+        Verification recomputes the token from the (known, simulated)
+        secret; a production system would use the public key, but the
+        structural guarantee — wrong message or wrong signer fails — is
+        identical.
+        """
+        if signature.public_key != keypair.public:
+            return False
+        digest = hash_object(message)
+        if digest != signature.digest:
+            return False
+        return signature.token == Signer._token(keypair.secret, digest)
+
+    @staticmethod
+    def require_valid(signature: Signature, message: object, keypair: KeyPair) -> None:
+        """Raise :class:`SignatureError` unless the signature verifies."""
+        if not Signer.verify(signature, message, keypair):
+            raise SignatureError(
+                f"invalid signature by {signature.signer!r} over digest {signature.digest[:12]}"
+            )
+
+
+def quorum_size(n: int, kind: str = "bft") -> int:
+    """Votes required for consensus over ``n`` replicas.
+
+    ``bft`` gives the PBFT/IBFT/DiemBFT quorum — ceil((n+f+1)/2), which
+    equals the textbook 2f+1 when n = 3f+1; ``crash`` gives Raft's
+    simple majority.
+    """
+    if n < 1:
+        raise ValueError(f"need at least one replica, got {n}")
+    if kind == "bft":
+        f = (n - 1) // 3
+        # ceil((n + f + 1) / 2): any two quorums intersect in >= f+1
+        # replicas, i.e. at least one correct one, for any n (not just
+        # n = 3f + 1).
+        return (n + f + 2) // 2
+    if kind == "crash":
+        return n // 2 + 1
+    raise ValueError(f"unknown quorum kind {kind!r}")
+
+
+def max_faulty(n: int, kind: str = "bft") -> int:
+    """Maximum tolerated faulty replicas for ``n`` replicas."""
+    if n < 1:
+        raise ValueError(f"need at least one replica, got {n}")
+    if kind == "bft":
+        return (n - 1) // 3
+    if kind == "crash":
+        return (n - 1) // 2
+    raise ValueError(f"unknown quorum kind {kind!r}")

@@ -1,0 +1,20 @@
+"""Paper experiment definitions.
+
+One module per artifact of the paper's evaluation (Section 5): every
+table and figure is encoded as an :class:`~repro.experiments.base.Experiment`
+binding workload, parameters and system to runnable benchmark
+configurations, with the paper's reported numbers embedded for
+side-by-side comparison. ``repro.experiments.registry`` lists them all.
+"""
+
+from repro.experiments.base import Case, Experiment, ExperimentRun, PaperValue
+from repro.experiments.registry import EXPERIMENT_IDS, build_experiment
+
+__all__ = [
+    "Case",
+    "EXPERIMENT_IDS",
+    "Experiment",
+    "ExperimentRun",
+    "PaperValue",
+    "build_experiment",
+]

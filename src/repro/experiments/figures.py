@@ -1,0 +1,346 @@
+"""The paper's figures: the two heat maps (Figs. 3, 4) and scalability (Fig. 5).
+
+Figure 3 shows, per system and benchmark, the best MTPS with the
+corresponding MFLS and duration; Figure 4 repeats the same
+configurations under the emulated European WAN latency (netem, mu=12 ms);
+Figure 5 scales the DoNothing benchmark to 8/16/32 nodes.
+
+The full Figure 4 cell grid is printed in the paper and embedded below;
+for Figure 3 only the values quoted in Section 5's prose are available.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.chains.registry import SYSTEM_LABELS, SYSTEM_NAMES
+from repro.coconut.config import BenchmarkConfig, unit_for_iel
+from repro.coconut.results import PhaseResult
+from repro.coconut.runner import BenchmarkRunner
+from repro.experiments.base import PaperValue
+from repro.net.latency import EUROPEAN_WAN_LATENCY, LatencyModel
+
+#: The benchmark rows of the heat maps, in figure order.
+BENCHMARK_ROWS: typing.Tuple[typing.Tuple[str, str], ...] = (
+    ("DoNothing", "DoNothing"),
+    ("KeyValue", "Set"),
+    ("KeyValue", "Get"),
+    ("BankingApp", "CreateAccount"),
+    ("BankingApp", "SendPayment"),
+    ("BankingApp", "Balance"),
+)
+
+
+def best_config_kwargs(system: str) -> typing.Dict[str, object]:
+    """The per-system configuration behind the heat maps' best cells.
+
+    Derived from Section 5: Corda at its (reduced) rate limiters,
+    BitShares at 100 ops/tx with block_interval 1 s, Fabric at RL=1600,
+    Quorum at blockperiod 5 s, Sawtooth at 100 txs/batch, Diem at
+    max_block_size 2000 and RL=200.
+    """
+    if system == "corda_os":
+        return dict(rate_limit=5)
+    if system == "corda_enterprise":
+        return dict(rate_limit=40)
+    if system == "bitshares":
+        return dict(rate_limit=400, params={"block_interval": 1.0}, ops_per_transaction=100)
+    if system == "fabric":
+        return dict(rate_limit=400, params={"MaxMessageCount": 2000})
+    if system == "quorum":
+        return dict(rate_limit=400, params={"istanbul.blockperiod": 5.0})
+    if system == "sawtooth":
+        return dict(rate_limit=50, params={"block_publishing_delay": 1.0}, txs_per_batch=100)
+    if system == "diem":
+        return dict(rate_limit=50, params={"max_block_size": 2000})
+    raise KeyError(f"unknown system {system!r}")
+
+
+def best_config_variants(system: str, iel: str) -> typing.List[typing.Dict[str, object]]:
+    """Configuration variants whose per-phase best fills a figure cell.
+
+    The figures show the *best* value per benchmark, and for BitShares
+    the best configuration differs within the BankingApp unit: 100
+    ops/tx maximises CreateAccount, but chained payments packed into one
+    transaction interact and are discarded wholesale, so SendPayment and
+    Balance peak at one operation per transaction (Section 5.3).
+    """
+    base = best_config_kwargs(system)
+    if system == "bitshares" and iel == "BankingApp":
+        single_op = dict(base)
+        single_op["ops_per_transaction"] = 1
+        return [base, single_op]
+    return [base]
+
+
+def recommended_scale(system: str) -> float:
+    """Window scale that keeps a system's dynamics observable."""
+    return {
+        "corda_os": 0.25,
+        "corda_enterprise": 0.25,
+        "sawtooth": 0.2,
+        "diem": 0.6,
+        "quorum": 0.15,
+    }.get(system, 0.1)
+
+
+@dataclasses.dataclass
+class GridRun:
+    """Results of one heat-map experiment."""
+
+    experiment_id: str
+    title: str
+    #: (phase, system) -> result.
+    cells: typing.Dict[typing.Tuple[str, str], PhaseResult]
+    paper_cells: typing.Dict[typing.Tuple[str, str], PaperValue]
+    systems: typing.Tuple[str, ...]
+
+    def cell(self, phase: str, system: str) -> PhaseResult:
+        """One grid cell's result."""
+        return self.cells[(phase, system)]
+
+    def render(self) -> str:
+        """The heat-map grid plus paper-vs-measured MTPS comparison."""
+        from repro.coconut.report import format_table, heatmap
+
+        grid = heatmap(
+            {
+                (phase, SYSTEM_LABELS[system]): result
+                for (phase, system), result in self.cells.items()
+            },
+            row_labels=[phase for __, phase in BENCHMARK_ROWS],
+            column_labels=[SYSTEM_LABELS[s] for s in self.systems],
+        )
+        rows = []
+        for (phase, system), paper in sorted(self.paper_cells.items()):
+            if (phase, system) not in self.cells:
+                continue
+            measured = self.cells[(phase, system)]
+            rows.append(
+                [
+                    f"{SYSTEM_LABELS[system]} {phase}",
+                    paper.describe(),
+                    f"MTPS={measured.mtps.mean:.2f} MFLS={measured.mfls.mean:.2f}s",
+                ]
+            )
+        comparison = format_table(["Cell", "Paper", "Measured"], rows)
+        return f"{self.title}\n{grid}\n\nPaper comparison:\n{comparison}"
+
+
+class HeatmapExperiment:
+    """Figures 3 and 4: the benchmarks x systems grid."""
+
+    def __init__(
+        self,
+        experiment_id: str,
+        title: str,
+        latency: typing.Optional[LatencyModel],
+        paper_cells: typing.Dict[typing.Tuple[str, str], PaperValue],
+    ) -> None:
+        self.experiment_id = experiment_id
+        self.title = title
+        self.latency = latency
+        self.paper_cells = paper_cells
+
+    def run(
+        self,
+        runner: typing.Optional[BenchmarkRunner] = None,
+        systems: typing.Optional[typing.Sequence[str]] = None,
+        iels: typing.Optional[typing.Sequence[str]] = None,
+        scale: typing.Optional[float] = None,
+        repetitions: int = 1,
+        seed: int = 34,
+    ) -> GridRun:
+        """Run one unit per (system, IEL) and collect every phase."""
+        runner = runner or BenchmarkRunner()
+        systems = tuple(systems or SYSTEM_NAMES)
+        iels = tuple(iels or ("DoNothing", "KeyValue", "BankingApp"))
+        cells: typing.Dict[typing.Tuple[str, str], PhaseResult] = {}
+        for system in systems:
+            for iel in iels:
+                for kwargs in best_config_variants(system, iel):
+                    config = BenchmarkConfig(
+                        system=system,
+                        iel=iel,
+                        latency=self.latency,
+                        scale=scale if scale is not None else recommended_scale(system),
+                        repetitions=repetitions,
+                        seed=seed,
+                        **kwargs,
+                    )
+                    unit = runner.run(config)
+                    for phase in unit_for_iel(iel):
+                        candidate = unit.phase(phase)
+                        incumbent = cells.get((phase, system))
+                        if incumbent is None or candidate.mtps.mean > incumbent.mtps.mean:
+                            cells[(phase, system)] = candidate
+        return GridRun(
+            experiment_id=self.experiment_id,
+            title=self.title,
+            cells=cells,
+            paper_cells=self.paper_cells,
+            systems=systems,
+        )
+
+
+#: Figure 3 values quoted in Section 5's prose (best MTPS per system).
+FIG3_PAPER_CELLS: typing.Dict[typing.Tuple[str, str], PaperValue] = {
+    ("DoNothing", "corda_os"): PaperValue(mtps=7.18),
+    ("DoNothing", "corda_enterprise"): PaperValue(mtps=64.64),
+    ("DoNothing", "bitshares"): PaperValue(mtps=1599.89, mfls=1.09),
+    ("DoNothing", "fabric"): PaperValue(mtps=1461.05),
+    ("DoNothing", "quorum"): PaperValue(mtps=773.60, mfls=10.32),
+    ("DoNothing", "sawtooth"): PaperValue(mtps=103.47),
+    ("DoNothing", "diem"): PaperValue(mtps=96.40),
+    ("Set", "corda_os"): PaperValue(mtps=4.08, mfls=151.93),
+    ("Set", "corda_enterprise"): PaperValue(mtps=13.51, mfls=31.59),
+    ("Get", "corda_os"): PaperValue(mtps=0.0),
+    ("SendPayment", "fabric"): PaperValue(mtps=1285.29, mfls=6.66),
+    ("Balance", "quorum"): PaperValue(mtps=365.85, mfls=12.34),
+    ("SendPayment", "sawtooth"): PaperValue(mtps=16.32),
+    ("Get", "diem"): PaperValue(mtps=64.22, mfls=107.78),
+}
+
+#: Figure 4's full printed grid (MTPS, MFLS, Duration per cell).
+FIG4_PAPER_CELLS: typing.Dict[typing.Tuple[str, str], PaperValue] = {
+    ("DoNothing", "corda_os"): PaperValue(7.22, 114.23, 348.67),
+    ("DoNothing", "corda_enterprise"): PaperValue(64.76, 3.36, 303.00),
+    ("DoNothing", "bitshares"): PaperValue(1589.30, 1.53, 389.33),
+    ("DoNothing", "fabric"): PaperValue(898.78, 2.06, 310.33),
+    ("DoNothing", "quorum"): PaperValue(605.04, 10.43, 313.00),
+    ("DoNothing", "sawtooth"): PaperValue(102.74, 21.73, 97.33),
+    ("DoNothing", "diem"): PaperValue(94.12, 95.91, 330.00),
+    ("Set", "corda_os"): PaperValue(4.34, 214.59, 369.33),
+    ("Set", "corda_enterprise"): PaperValue(13.49, 31.12, 337.67),
+    ("Set", "bitshares"): PaperValue(654.12, 8.23, 393.33),
+    ("Set", "fabric"): PaperValue(866.64, 0.48, 310.33),
+    ("Set", "quorum"): PaperValue(243.13, 14.06, 315.00),
+    ("Set", "sawtooth"): PaperValue(88.55, 17.94, 343.33),
+    ("Set", "diem"): PaperValue(70.50, 103.67, 322.00),
+    ("Get", "corda_os"): PaperValue(0.00, 0.00, 0.00),
+    ("Get", "corda_enterprise"): PaperValue(3.09, 120.59, 357.33),
+    ("Get", "bitshares"): PaperValue(579.45, 7.64, 389.00),
+    ("Get", "fabric"): PaperValue(885.24, 0.44, 310.00),
+    ("Get", "quorum"): PaperValue(338.46, 13.27, 209.00),
+    ("Get", "sawtooth"): PaperValue(76.86, 11.38, 55.00),
+    ("Get", "diem"): PaperValue(67.99, 112.26, 316.00),
+    ("CreateAccount", "corda_os"): PaperValue(6.89, 117.16, 349.67),
+    ("CreateAccount", "corda_enterprise"): PaperValue(61.92, 3.56, 302.67),
+    ("CreateAccount", "bitshares"): PaperValue(1046.87, 3.81, 388.67),
+    ("CreateAccount", "fabric"): PaperValue(872.52, 2.48, 311.00),
+    ("CreateAccount", "quorum"): PaperValue(258.05, 13.93, 315.67),
+    ("CreateAccount", "sawtooth"): PaperValue(64.83, 27.39, 346.00),
+    ("CreateAccount", "diem"): PaperValue(74.27, 93.13, 324.33),
+    ("SendPayment", "corda_os"): PaperValue(0.00, 0.00, 0.00),
+    ("SendPayment", "corda_enterprise"): PaperValue(0.00, 0.00, 0.00),
+    ("SendPayment", "bitshares"): PaperValue(6.62, 173.50, 356.00),
+    ("SendPayment", "fabric"): PaperValue(866.30, 2.70, 308.33),
+    ("SendPayment", "quorum"): PaperValue(320.10, 13.40, 254.33),
+    ("SendPayment", "sawtooth"): PaperValue(15.02, 26.04, 338.33),
+    ("SendPayment", "diem"): PaperValue(56.82, 128.95, 319.00),
+    ("Balance", "corda_os"): PaperValue(0.28, 138.34, 400.67),
+    ("Balance", "corda_enterprise"): PaperValue(0.00, 0.00, 0.00),
+    ("Balance", "bitshares"): PaperValue(9.96, 148.48, 369.33),
+    ("Balance", "fabric"): PaperValue(883.65, 2.48, 307.00),
+    ("Balance", "quorum"): PaperValue(362.50, 12.83, 224.67),
+    ("Balance", "sawtooth"): PaperValue(30.24, 15.84, 121.00),
+    ("Balance", "diem"): PaperValue(46.16, 148.83, 307.00),
+}
+
+
+def fig3_heatmap() -> HeatmapExperiment:
+    """Figure 3: best MTPS/MFLS/Duration, no added latency."""
+    return HeatmapExperiment(
+        "fig3",
+        "Figure 3: best MTPS per benchmark and system (data-centre latency)",
+        latency=None,
+        paper_cells=FIG3_PAPER_CELLS,
+    )
+
+
+def fig4_latency_heatmap() -> HeatmapExperiment:
+    """Figure 4: the same grid under netem latency (mu = 12 ms)."""
+    return HeatmapExperiment(
+        "fig4",
+        "Figure 4: best-config grid under emulated European WAN latency",
+        latency=EUROPEAN_WAN_LATENCY,
+        paper_cells=FIG4_PAPER_CELLS,
+    )
+
+
+@dataclasses.dataclass
+class ScalabilityRun:
+    """Results of the Figure 5 experiment."""
+
+    #: (system, node_count) -> result.
+    cells: typing.Dict[typing.Tuple[str, int], PhaseResult]
+    node_counts: typing.Tuple[int, ...]
+    systems: typing.Tuple[str, ...]
+
+    def mtps(self, system: str, node_count: int) -> float:
+        """Measured MTPS of one cell."""
+        return self.cells[(system, node_count)].mtps.mean
+
+    def render(self) -> str:
+        """A node-count x system MTPS table (log-style, like Fig. 5)."""
+        from repro.coconut.report import format_table
+
+        headers = ["System"] + [f"n={n}" for n in self.node_counts]
+        rows = []
+        for system in self.systems:
+            row = [SYSTEM_LABELS[system]]
+            for node_count in self.node_counts:
+                result = self.cells.get((system, node_count))
+                if result is None or result.received.mean == 0:
+                    row.append("FAIL")
+                else:
+                    row.append(f"{result.mtps.mean:.2f}")
+            rows.append(row)
+        return "Figure 5: DoNothing MTPS vs network size\n" + format_table(headers, rows)
+
+
+#: Paper Figure 5 expectations (Section 5.8.2, qualitative).
+FIG5_EXPECTATIONS: typing.Dict[str, str] = {
+    "corda_os": "declines with n; fails completely at 32 nodes",
+    "corda_enterprise": "declines with n, keeps working",
+    "bitshares": "flat - marginal fluctuations only",
+    "fabric": "works at 8, fails at 16 and 32 (no client confirmations)",
+    "quorum": "downward trend from 8 nodes",
+    "sawtooth": "works at 8, fails at 16 and 32 (stuck pending)",
+    "diem": "downward trend from 8 nodes",
+}
+
+
+class ScalabilityExperiment:
+    """Figure 5: DoNothing across 8/16/32 nodes (netem latency)."""
+
+    experiment_id = "fig5"
+
+    def run(
+        self,
+        runner: typing.Optional[BenchmarkRunner] = None,
+        systems: typing.Optional[typing.Sequence[str]] = None,
+        node_counts: typing.Sequence[int] = (8, 16, 32),
+        scale: typing.Optional[float] = None,
+        seed: int = 58,
+    ) -> ScalabilityRun:
+        """Run DoNothing at each network size (same settings as 5.8.1)."""
+        runner = runner or BenchmarkRunner()
+        systems = tuple(systems or SYSTEM_NAMES)
+        cells: typing.Dict[typing.Tuple[str, int], PhaseResult] = {}
+        for system in systems:
+            for node_count in node_counts:
+                config = BenchmarkConfig(
+                    system=system,
+                    iel="DoNothing",
+                    latency=EUROPEAN_WAN_LATENCY,
+                    node_count=node_count,
+                    scale=scale if scale is not None else recommended_scale(system),
+                    repetitions=1,
+                    seed=seed,
+                    **best_config_kwargs(system),
+                )
+                unit = runner.run(config)
+                cells[(system, node_count)] = unit.phase("DoNothing")
+        return ScalabilityRun(cells=cells, node_counts=tuple(node_counts), systems=systems)

@@ -1,0 +1,35 @@
+"""Registry of all paper experiments."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.experiments import tables
+from repro.experiments.figures import (
+    ScalabilityExperiment,
+    fig3_heatmap,
+    fig4_latency_heatmap,
+)
+
+_BUILDERS: typing.Dict[str, typing.Callable[[], object]] = {
+    "fig3": fig3_heatmap,
+    "fig4": fig4_latency_heatmap,
+    "fig5": ScalabilityExperiment,
+    "table7_8": tables.table7_8_corda_os,
+    "table9_10": tables.table9_10_corda_enterprise,
+    "table11_12": tables.table11_12_bitshares,
+    "table13_14": tables.table13_14_fabric,
+    "table15_16": tables.table15_16_quorum,
+    "table17_18": tables.table17_18_sawtooth,
+    "table19_20": tables.table19_20_diem,
+}
+
+#: Every reproducible artifact, in paper order.
+EXPERIMENT_IDS: typing.Tuple[str, ...] = tuple(_BUILDERS)
+
+
+def build_experiment(experiment_id: str) -> object:
+    """Construct one experiment by id."""
+    if experiment_id not in _BUILDERS:
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {list(_BUILDERS)}")
+    return _BUILDERS[experiment_id]()

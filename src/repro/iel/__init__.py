@@ -1,0 +1,39 @@
+"""Interface execution layers (IELs).
+
+The paper's standardized term for smart-contract constructs (chaincode,
+operations, flows, transaction processors...). Three IELs drive every
+benchmark (Table 3): DoNothing, KeyValue and BankingApp. Each is written
+against the abstract :class:`~repro.iel.base.StateInterface`, so one IEL
+implementation runs on every system model — world-state backed systems
+plug in a direct adapter, Fabric a read/write-set recording adapter and
+Corda a vault adapter whose reads are linear scans.
+
+Custom IELs register through :mod:`repro.iel.registry`, mirroring
+COCONUT's extensibility goal.
+"""
+
+from repro.iel.banking import BankingAppIEL
+from repro.iel.base import (
+    ExecutionResult,
+    IELError,
+    InterfaceExecutionLayer,
+    StateInterface,
+    WorldStateAdapter,
+)
+from repro.iel.donothing import DoNothingIEL
+from repro.iel.keyvalue import KeyValueIEL
+from repro.iel.registry import available_iels, create_iel, register_iel
+
+__all__ = [
+    "BankingAppIEL",
+    "DoNothingIEL",
+    "ExecutionResult",
+    "IELError",
+    "InterfaceExecutionLayer",
+    "KeyValueIEL",
+    "StateInterface",
+    "WorldStateAdapter",
+    "available_iels",
+    "create_iel",
+    "register_iel",
+]

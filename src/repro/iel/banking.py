@@ -1,0 +1,81 @@
+"""The BankingApp IEL (Table 3): accounts, payments, balance checks.
+
+Designed so that side effects occur: SendPayment moves money from
+account_n to account_{n+1}, producing overwriting transactions within a
+block (or consumed states, on Corda) — the serialisability stress test of
+Section 4.1.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.iel.base import IELError, InterfaceExecutionLayer, StateInterface
+from repro.storage.transaction import Payload
+
+#: Key prefixes for the two account types.
+CHECKING_PREFIX = "checking:"
+SAVING_PREFIX = "saving:"
+
+
+def checking_key(account: str) -> str:
+    """World-state key of an account's checking balance."""
+    return CHECKING_PREFIX + account
+
+
+def saving_key(account: str) -> str:
+    """World-state key of an account's saving balance."""
+    return SAVING_PREFIX + account
+
+
+class BankingAppIEL(InterfaceExecutionLayer):
+    """The banking application from the paper's third benchmark."""
+
+    name = "BankingApp"
+
+    def functions(self) -> typing.Tuple[str, ...]:
+        return ("CreateAccount", "SendPayment", "Balance")
+
+    def _fn_createaccount(self, payload: Payload, state: StateInterface) -> None:
+        account = payload.arg("account")
+        if account is None:
+            raise IELError("CreateAccount requires an 'account' argument")
+        checking = payload.arg("checking", 0)
+        saving = payload.arg("saving", 0)
+        if checking < 0 or saving < 0:
+            raise IELError("initial balances must be non-negative")
+        state.put(checking_key(account), checking)
+        state.put(saving_key(account), saving)
+        return None
+
+    def _fn_sendpayment(self, payload: Payload, state: StateInterface) -> None:
+        source = payload.arg("source")
+        destination = payload.arg("destination")
+        amount = payload.arg("amount", 0)
+        if source is None or destination is None:
+            raise IELError("SendPayment requires 'source' and 'destination'")
+        if amount <= 0:
+            raise IELError(f"payment amount must be positive, got {amount}")
+        source_balance = state.get(checking_key(source))
+        destination_balance = state.get(checking_key(destination))
+        if source_balance is None:
+            raise IELError(f"unknown source account {source!r}")
+        if destination_balance is None:
+            raise IELError(f"unknown destination account {destination!r}")
+        if source_balance < amount:
+            raise IELError(
+                f"insufficient funds in {source!r}: {source_balance} < {amount}"
+            )
+        state.put(checking_key(source), source_balance - amount)
+        state.put(checking_key(destination), destination_balance + amount)
+        return None
+
+    def _fn_balance(self, payload: Payload, state: StateInterface) -> object:
+        account = payload.arg("account")
+        if account is None:
+            raise IELError("Balance requires an 'account' argument")
+        checking = state.get(checking_key(account))
+        saving = state.get(saving_key(account))
+        if checking is None and saving is None:
+            raise IELError(f"unknown account {account!r}")
+        return (checking or 0) + (saving or 0)

@@ -1,0 +1,24 @@
+"""The DoNothing IEL (Table 3): an empty function.
+
+Used to measure the system without execution-layer complexity — the
+benchmark that reveals the consensus and networking ceiling.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.iel.base import InterfaceExecutionLayer, StateInterface
+from repro.storage.transaction import Payload
+
+
+class DoNothingIEL(InterfaceExecutionLayer):
+    """An IEL with a single no-op function."""
+
+    name = "DoNothing"
+
+    def functions(self) -> typing.Tuple[str, ...]:
+        return ("DoNothing",)
+
+    def _fn_donothing(self, payload: Payload, state: StateInterface) -> None:
+        return None

@@ -1,0 +1,35 @@
+"""The KeyValue IEL (Table 3): Set writes a pair, Get reads by key.
+
+Targets the storage component. The Set benchmark never writes duplicate
+keys (Section 4.1); the Get benchmark reads back the keys the preceding
+Set unit wrote.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.iel.base import IELError, InterfaceExecutionLayer, StateInterface
+from repro.storage.transaction import Payload
+
+
+class KeyValueIEL(InterfaceExecutionLayer):
+    """Key-value storage functions."""
+
+    name = "KeyValue"
+
+    def functions(self) -> typing.Tuple[str, ...]:
+        return ("Set", "Get")
+
+    def _fn_set(self, payload: Payload, state: StateInterface) -> None:
+        key = payload.arg("key")
+        if key is None:
+            raise IELError("Set requires a 'key' argument")
+        state.put(str(key), payload.arg("value"))
+        return None
+
+    def _fn_get(self, payload: Payload, state: StateInterface) -> object:
+        key = payload.arg("key")
+        if key is None:
+            raise IELError("Get requires a 'key' argument")
+        return state.require(str(key))

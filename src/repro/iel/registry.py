@@ -1,0 +1,40 @@
+"""IEL registry — COCONUT's extensibility point for custom contracts."""
+
+from __future__ import annotations
+
+import typing
+
+from repro.iel.banking import BankingAppIEL
+from repro.iel.base import InterfaceExecutionLayer
+from repro.iel.donothing import DoNothingIEL
+from repro.iel.keyvalue import KeyValueIEL
+
+_REGISTRY: typing.Dict[str, typing.Type[InterfaceExecutionLayer]] = {}
+
+
+def register_iel(iel_class: typing.Type[InterfaceExecutionLayer]) -> typing.Type[InterfaceExecutionLayer]:
+    """Register an IEL class under its ``name`` (usable as a decorator)."""
+    if not iel_class.name:
+        raise ValueError(f"{iel_class.__name__} has no name")
+    existing = _REGISTRY.get(iel_class.name)
+    if existing is not None and existing is not iel_class:
+        raise ValueError(f"IEL name {iel_class.name!r} already registered by {existing.__name__}")
+    _REGISTRY[iel_class.name] = iel_class
+    return iel_class
+
+
+def create_iel(name: str) -> InterfaceExecutionLayer:
+    """Instantiate a registered IEL by name."""
+    if name not in _REGISTRY:
+        raise KeyError(f"unknown IEL {name!r}; available: {sorted(_REGISTRY)}")
+    return _REGISTRY[name]()
+
+
+def available_iels() -> typing.List[str]:
+    """Names of all registered IELs."""
+    return sorted(_REGISTRY)
+
+
+register_iel(DoNothingIEL)
+register_iel(KeyValueIEL)
+register_iel(BankingAppIEL)

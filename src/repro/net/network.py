@@ -1,0 +1,142 @@
+"""Message routing between endpoints.
+
+A :class:`Network` owns the endpoint registry, builds links lazily from a
+default latency model and delivers :class:`Message` objects by scheduling
+``endpoint.on_message(msg)`` after the sampled link delay. Delivery order
+between two endpoints is FIFO (TCP-like): a message never overtakes an
+earlier message on the same directed pair, even when the jittered latency
+samples would reorder them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.net.host import Host
+from repro.net.latency import ConstantLatency, LatencyModel
+from repro.net.link import Link
+from repro.net.partition import PartitionController
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import Simulator
+
+
+@dataclasses.dataclass(frozen=True)
+class Message:
+    """An envelope routed by the network."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: object = None
+    size_bytes: int = 256
+
+    def __repr__(self) -> str:
+        return f"Message({self.kind} {self.src}->{self.dst})"
+
+
+class Endpoint:
+    """Anything addressable on the network (node, client, orderer...)."""
+
+    def __init__(self, endpoint_id: str) -> None:
+        self.endpoint_id = endpoint_id
+        self.network: typing.Optional["Network"] = None
+        self.host: typing.Optional[Host] = None
+
+    def on_message(self, message: Message) -> None:
+        """Handle a delivered message. Subclasses override."""
+        raise NotImplementedError(f"{type(self).__name__} does not handle messages")
+
+    def send(self, dst: str, kind: str, payload: object = None, size_bytes: int = 256) -> None:
+        """Send a message through the attached network."""
+        if self.network is None:
+            raise RuntimeError(f"endpoint {self.endpoint_id!r} is not attached to a network")
+        self.network.send(Message(self.endpoint_id, dst, kind, payload, size_bytes))
+
+
+class Network:
+    """The routing fabric connecting all endpoints of one deployment."""
+
+    def __init__(
+        self,
+        sim: "Simulator",
+        default_latency: typing.Optional[LatencyModel] = None,
+        name: str = "net",
+    ) -> None:
+        self.sim = sim
+        self.name = name
+        self.default_latency = default_latency or ConstantLatency(0.0004)
+        self.partitions = PartitionController()
+        self._endpoints: typing.Dict[str, Endpoint] = {}
+        self._links: typing.Dict[typing.Tuple[str, str], Link] = {}
+        self._fifo_clock: typing.Dict[typing.Tuple[str, str], float] = {}
+        self._rng = sim.rng.stream(f"network:{name}")
+        self.messages_sent = 0
+        self.messages_dropped = 0
+
+    def attach(self, endpoint: Endpoint, host: Host) -> None:
+        """Register an endpoint as running on ``host``."""
+        if endpoint.endpoint_id in self._endpoints:
+            raise ValueError(f"duplicate endpoint id {endpoint.endpoint_id!r}")
+        endpoint.network = self
+        endpoint.host = host
+        host.attach(endpoint.endpoint_id)
+        self._endpoints[endpoint.endpoint_id] = endpoint
+
+    def endpoint(self, endpoint_id: str) -> Endpoint:
+        """Look up an endpoint by id."""
+        return self._endpoints[endpoint_id]
+
+    def endpoint_ids(self) -> typing.List[str]:
+        """All registered endpoint ids, in attach order."""
+        return list(self._endpoints)
+
+    def link_between(self, src: str, dst: str) -> Link:
+        """Return (creating if needed) the link between two endpoints' hosts."""
+        key = (src, dst)
+        if key not in self._links:
+            src_host = self._endpoints[src].host
+            dst_host = self._endpoints[dst].host
+            assert src_host is not None and dst_host is not None
+            self._links[key] = Link(src_host, dst_host, self.default_latency)
+        return self._links[key]
+
+    def send(self, message: Message) -> None:
+        """Route ``message``, scheduling delivery after the link delay."""
+        if message.dst not in self._endpoints:
+            raise KeyError(f"unknown destination {message.dst!r}")
+        self.messages_sent += 1
+        if not self.partitions.allows(message.src, message.dst, self._rng):
+            self.messages_dropped += 1
+            return
+        link = self.link_between(message.src, message.dst)
+        delay = link.delay(message.size_bytes, self._rng)
+        # FIFO per directed pair: clamp the arrival to be no earlier than
+        # the previous message on the same pair.
+        pair = (message.src, message.dst)
+        arrival = self.sim.now + delay
+        arrival = max(arrival, self._fifo_clock.get(pair, 0.0))
+        self._fifo_clock[pair] = arrival
+        endpoint = self._endpoints[message.dst]
+        self.sim.schedule(arrival - self.sim.now, lambda: endpoint.on_message(message))
+
+    def broadcast(
+        self,
+        src: str,
+        dsts: typing.Iterable[str],
+        kind: str,
+        payload: object = None,
+        size_bytes: int = 256,
+    ) -> int:
+        """Send the same message to every destination except ``src``.
+
+        Returns the number of messages sent.
+        """
+        count = 0
+        for dst in dsts:
+            if dst == src:
+                continue
+            self.send(Message(src, dst, kind, payload, size_bytes))
+            count += 1
+        return count

@@ -1,0 +1,60 @@
+"""Fault injection: partitions and probabilistic message loss.
+
+The benchmark runs themselves do not partition the network, but the test
+suite uses this controller to verify that the consensus engines tolerate
+(or correctly stall under) partitions and loss — e.g. that Raft loses
+liveness without a majority and recovers when the partition heals.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+
+class PartitionController:
+    """Decides, per message, whether delivery is allowed."""
+
+    def __init__(self) -> None:
+        self._blocked_pairs: typing.Set[typing.Tuple[str, str]] = set()
+        self._isolated: typing.Set[str] = set()
+        self.drop_probability = 0.0
+
+    def isolate(self, endpoint_id: str) -> None:
+        """Cut the endpoint off from everyone."""
+        self._isolated.add(endpoint_id)
+
+    def heal_endpoint(self, endpoint_id: str) -> None:
+        """Reconnect a previously isolated endpoint."""
+        self._isolated.discard(endpoint_id)
+
+    def block(self, a: str, b: str) -> None:
+        """Cut the (bidirectional) path between two endpoints."""
+        self._blocked_pairs.add((a, b))
+        self._blocked_pairs.add((b, a))
+
+    def unblock(self, a: str, b: str) -> None:
+        """Restore the path between two endpoints."""
+        self._blocked_pairs.discard((a, b))
+        self._blocked_pairs.discard((b, a))
+
+    def partition(self, group_a: typing.Iterable[str], group_b: typing.Iterable[str]) -> None:
+        """Split the network into two groups that cannot reach each other."""
+        for a in group_a:
+            for b in group_b:
+                self.block(a, b)
+
+    def heal_all(self) -> None:
+        """Remove every partition and isolation (loss probability stays)."""
+        self._blocked_pairs.clear()
+        self._isolated.clear()
+
+    def allows(self, src: str, dst: str, rng: random.Random) -> bool:
+        """Whether a message from ``src`` to ``dst`` may be delivered now."""
+        if src in self._isolated or dst in self._isolated:
+            return False
+        if (src, dst) in self._blocked_pairs:
+            return False
+        if self.drop_probability > 0 and rng.random() < self.drop_probability:
+            return False
+        return True

@@ -1,0 +1,99 @@
+"""The simulation event loop.
+
+:class:`Simulator` owns simulated time and a priority queue of scheduled
+callbacks. Everything else in the package — events, processes, stores,
+network links — ultimately reduces to ``schedule(delay, fn)`` calls against
+one Simulator instance.
+"""
+
+from __future__ import annotations
+
+import heapq
+import typing
+
+from repro.sim.events import Event, SimulationError, Timeout
+from repro.sim.process import Process
+from repro.sim.rng import RngRegistry
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Time is a float in seconds, starting at 0. Callbacks scheduled for the
+    same instant run in schedule order (FIFO), which keeps runs fully
+    deterministic for a fixed seed.
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._now = 0.0
+        self._queue: list = []
+        self._sequence = 0
+        self._running = False
+        self.rng = RngRegistry(seed)
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    def schedule(self, delay: float, callback: typing.Callable[[], None]) -> None:
+        """Run ``callback()`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback))
+
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: float, value: object = None) -> Timeout:
+        """Create a :class:`Timeout` firing after ``delay`` seconds."""
+        return Timeout(self, delay, value)
+
+    def spawn(self, generator: typing.Generator, name: str = "") -> Process:
+        """Start a new :class:`Process` driving ``generator``."""
+        return Process(self, generator, name=name)
+
+    def run(self, until: typing.Optional[float] = None) -> float:
+        """Execute events until the queue drains or ``until`` is reached.
+
+        Returns the simulated time at which execution stopped. When
+        ``until`` is given, time is advanced to exactly ``until`` even if
+        the queue drained earlier, mirroring wall-clock benchmark windows.
+        """
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                at, __, callback = self._queue[0]
+                if until is not None and at > until:
+                    break
+                heapq.heappop(self._queue)
+                self._now = at
+                callback()
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def run_until_complete(self, process: Process, limit: float = 1e9) -> object:
+        """Run until ``process`` finishes and return its value.
+
+        ``limit`` bounds the run to guard against livelock in tests.
+        """
+        while not process.triggered:
+            if not self._queue:
+                raise SimulationError(f"deadlock: {process!r} never completed")
+            at, __, callback = heapq.heappop(self._queue)
+            if at > limit:
+                raise SimulationError(f"exceeded time limit {limit} waiting for {process!r}")
+            self._now = at
+            callback()
+        return process.value
+
+    def pending_events(self) -> int:
+        """Number of callbacks still queued (diagnostic)."""
+        return len(self._queue)

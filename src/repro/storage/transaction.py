@@ -1,0 +1,149 @@
+"""Payloads, transactions and batches.
+
+The paper's accounting unit is the *payload*: "the maximum number of
+payloads, wrapped into transactions and batches, to be sent by each
+COCONUT client per second" (Section 4.4). A payload is one IEL function
+invocation as seen by the client; the blockchain access layer wraps
+payloads into the system's transaction structure:
+
+* most systems — one payload per transaction;
+* BitShares — 1..100 *operations* (payloads) per atomic transaction;
+* Sawtooth — 1..100 transactions per atomic *batch*.
+
+BitShares' MTPS calculation counts each operation as a transaction
+(Section 4.5), which falls out naturally from counting payloads.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+import typing
+
+_payload_counter = itertools.count(1)
+_tx_counter = itertools.count(1)
+_batch_counter = itertools.count(1)
+
+
+def reset_id_counters() -> None:
+    """Restart id sequences (used by tests for deterministic ids)."""
+    global _payload_counter, _tx_counter, _batch_counter
+    _payload_counter = itertools.count(1)
+    _tx_counter = itertools.count(1)
+    _batch_counter = itertools.count(1)
+
+
+@dataclasses.dataclass(frozen=True)
+class Payload:
+    """One IEL function invocation submitted by a client."""
+
+    payload_id: str
+    client_id: str
+    iel: str
+    function: str
+    args: typing.Tuple[typing.Tuple[str, object], ...]
+    size_bytes: int = 128
+
+    @classmethod
+    def create(
+        cls,
+        client_id: str,
+        iel: str,
+        function: str,
+        args: typing.Optional[dict] = None,
+        size_bytes: int = 128,
+    ) -> "Payload":
+        """Build a payload with a fresh globally unique id."""
+        return cls(
+            payload_id=f"p{next(_payload_counter)}",
+            client_id=client_id,
+            iel=iel,
+            function=function,
+            args=tuple(sorted((args or {}).items())),
+            size_bytes=size_bytes,
+        )
+
+    def arg(self, name: str, default: object = None) -> object:
+        """Look up one named argument."""
+        for key, value in self.args:
+            if key == name:
+                return value
+        return default
+
+    def canonical_tuple(self) -> tuple:
+        """Stable tuple for content hashing."""
+        return (self.payload_id, self.client_id, self.iel, self.function, self.args)
+
+
+@dataclasses.dataclass(frozen=True)
+class Transaction:
+    """An atomic unit ordered by consensus.
+
+    ``payloads`` has length 1 for single-operation systems and up to 100
+    for BitShares multi-operation transactions. Atomicity: if any payload
+    fails during execution, the whole transaction is discarded.
+    """
+
+    tx_id: str
+    payloads: typing.Tuple[Payload, ...]
+    submitter: str
+    kind: str = "generic"
+
+    @classmethod
+    def wrap(cls, payloads: typing.Sequence[Payload], submitter: str, kind: str = "generic") -> "Transaction":
+        """Wrap payloads into a transaction with a fresh id."""
+        if not payloads:
+            raise ValueError("a transaction needs at least one payload")
+        return cls(
+            tx_id=f"tx{next(_tx_counter)}",
+            payloads=tuple(payloads),
+            submitter=submitter,
+            kind=kind,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: payload bytes plus a fixed envelope."""
+        return 96 + sum(p.size_bytes for p in self.payloads)
+
+    def canonical_tuple(self) -> tuple:
+        """Stable tuple for content hashing."""
+        return (self.tx_id, self.submitter, self.kind, tuple(p.canonical_tuple() for p in self.payloads))
+
+
+@dataclasses.dataclass(frozen=True)
+class Batch:
+    """Sawtooth's atomic batch of transactions.
+
+    If one transaction in the batch fails, the whole batch is rejected and
+    none of it reaches a block (Section 5.6).
+    """
+
+    batch_id: str
+    transactions: typing.Tuple[Transaction, ...]
+    submitter: str
+
+    @classmethod
+    def wrap(cls, transactions: typing.Sequence[Transaction], submitter: str) -> "Batch":
+        """Wrap transactions into a batch with a fresh id."""
+        if not transactions:
+            raise ValueError("a batch needs at least one transaction")
+        return cls(
+            batch_id=f"b{next(_batch_counter)}",
+            transactions=tuple(transactions),
+            submitter=submitter,
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        """Wire size: transaction bytes plus a fixed envelope."""
+        return 64 + sum(tx.size_bytes for tx in self.transactions)
+
+    @property
+    def payload_count(self) -> int:
+        """Total payloads across all member transactions."""
+        return sum(len(tx.payloads) for tx in self.transactions)
+
+    def canonical_tuple(self) -> tuple:
+        """Stable tuple for content hashing."""
+        return (self.batch_id, self.submitter, tuple(tx.canonical_tuple() for tx in self.transactions))

@@ -1,0 +1,94 @@
+"""Unit and integration tests for block statistics."""
+
+import pytest
+
+from repro.analysis.blockstats import BlockStats, collect_block_stats, production_pace_held
+from repro.storage import Block, Chain, Payload, Transaction
+
+
+def build_chain(spec):
+    """spec: list of (timestamp, payload_count)."""
+    chain = Chain(owner="stats")
+    for height, (timestamp, count) in enumerate(spec):
+        txs = [
+            Transaction.wrap(
+                [Payload.create("c", "KeyValue", "Set", {"key": f"{height}-{i}"})], "c"
+            )
+            for i in range(count)
+        ]
+        chain.append(Block.seal(height, chain.head_hash, txs, "n", timestamp))
+    return chain
+
+
+class TestCollectStats:
+    def test_empty_chain(self):
+        stats = collect_block_stats(Chain())
+        assert stats.block_count == 0
+        assert stats.empty_fraction == 0.0
+        assert stats.describe()
+
+    def test_counts_and_intervals(self):
+        chain = build_chain([(0.0, 2), (1.0, 0), (3.0, 4)])
+        stats = collect_block_stats(chain)
+        assert stats.block_count == 3
+        assert stats.empty_blocks == 1
+        assert stats.empty_fraction == pytest.approx(1 / 3)
+        assert stats.total_payloads == 6
+        assert stats.max_block_payloads == 4
+        assert stats.mean_block_payloads == pytest.approx(2.0)
+        assert stats.mean_interval == pytest.approx(1.5)
+        assert stats.max_interval == pytest.approx(2.0)
+
+    def test_saturation(self):
+        chain = build_chain([(0.0, 50)])
+        stats = collect_block_stats(chain)
+        assert stats.saturation(100) == pytest.approx(0.5)
+        with pytest.raises(ValueError):
+            stats.saturation(0)
+
+
+class TestProductionPace:
+    def test_steady_pace_holds(self):
+        chain = build_chain([(float(i), 1) for i in range(5)])
+        assert production_pace_held(chain, configured_interval=1.0)
+
+    def test_gap_detected(self):
+        chain = build_chain([(0.0, 1), (1.0, 1), (7.0, 1)])
+        assert not production_pace_held(chain, configured_interval=1.0)
+
+    def test_short_chain_trivially_holds(self):
+        assert production_pace_held(build_chain([(0.0, 1)]), 1.0)
+
+    def test_invalid_interval(self):
+        with pytest.raises(ValueError):
+            production_pace_held(Chain(), 0.0)
+
+
+class TestAgainstLiveSystems:
+    def test_fabric_blocks_arrive_every_second(self):
+        # Section 5.4: "Clients constantly receive a block-related event
+        # every second" — block production holds the BatchTimeout pace.
+        import sys
+        sys.path.insert(0, "tests")
+        from tests.chains.helpers import deploy
+
+        sim, system, client = deploy("fabric")
+        for i in range(40):
+            sim.schedule(i * 0.25, lambda i=i: client.submit_payload(
+                "KeyValue", "Set", key=f"k{i}", value=i))
+        sim.run(until=15.0)
+        chain = system.nodes[system.node_ids[0]].chain
+        assert production_pace_held(chain, configured_interval=1.0, tolerance=0.6)
+
+    def test_quorum_stall_shows_up_as_empty_blocks(self):
+        import sys
+        sys.path.insert(0, "tests")
+        from tests.chains.helpers import deploy
+
+        sim, system, client = deploy("quorum", params={"istanbul.blockperiod": 1.0})
+        for i in range(4000):
+            sim.schedule(i * 0.0025, lambda i=i: client.submit_payload(
+                "KeyValue", "Set", key=f"k{i}", value=i))
+        sim.run(until=60.0)
+        stats = collect_block_stats(system.nodes[system.node_ids[0]].chain)
+        assert stats.empty_fraction > 0.5  # the latched stall mints air

@@ -1,0 +1,68 @@
+"""A minimal test client driving system models directly."""
+
+from repro.chains.base import ClientReject, DeploymentSpec
+from repro.chains.registry import create_system
+from repro.net import Endpoint, Host
+from repro.sim import Simulator
+from repro.storage import Batch, Payload, Transaction
+
+
+class ProbeClient(Endpoint):
+    """Submits bundles and records receipts/rejections."""
+
+    def __init__(self, client_id, sim):
+        super().__init__(client_id)
+        self.sim = sim
+        self.receipts = {}
+        self.rejections = {}
+        self.gateway = None
+
+    def on_message(self, message):
+        if message.kind == "client/receipt":
+            for receipt in message.payload:
+                self.receipts[receipt.payload_id] = receipt
+        elif message.kind == "client/reject":
+            reject = message.payload
+            for payload_id in reject.payload_ids:
+                self.rejections[payload_id] = reject.reason
+
+    def submit(self, bundle):
+        self.send(self.gateway, "client/submit", bundle, size_bytes=bundle.size_bytes)
+
+    def submit_payload(self, iel, function, **args):
+        payload = Payload.create(self.endpoint_id, iel, function, args)
+        tx = Transaction.wrap([payload], submitter=self.endpoint_id)
+        self.submit(tx)
+        return payload
+
+    def submit_batch(self, payload_specs, iel):
+        payloads = []
+        transactions = []
+        for function, args in payload_specs:
+            payload = Payload.create(self.endpoint_id, iel, function, args)
+            payloads.append(payload)
+            transactions.append(Transaction.wrap([payload], submitter=self.endpoint_id))
+        self.submit(Batch.wrap(transactions, submitter=self.endpoint_id))
+        return payloads
+
+    def submit_multiop(self, payload_specs, iel):
+        payloads = [
+            Payload.create(self.endpoint_id, iel, function, args)
+            for function, args in payload_specs
+        ]
+        self.submit(Transaction.wrap(payloads, submitter=self.endpoint_id))
+        return payloads
+
+
+def deploy(system_name, iel="KeyValue", seed=1, node_count=4, params=None, latency=None):
+    """Build a system plus one probe client attached to node 0."""
+    sim = Simulator(seed=seed)
+    spec = DeploymentSpec(node_count=node_count, params=params or {}, latency=latency)
+    system = create_system(system_name, sim, spec, iel)
+    client = ProbeClient("probe-client", sim)
+    client_host = Host("client-server")
+    system.attach_client(client, client_host)
+    client.gateway = system.gateway_for(0)
+    system.subscribe(client.endpoint_id, client.gateway)
+    system.start()
+    return sim, system, client

@@ -1,0 +1,121 @@
+"""Tests for the BitShares model: DPoS slots, multi-op atomicity, conflicts."""
+
+import pytest
+
+from repro.storage import TxStatus
+from tests.chains.helpers import deploy
+
+
+class TestProduction:
+    def test_single_op_commits(self):
+        sim, system, client = deploy("bitshares", params={"block_interval": 1.0})
+        payload = client.submit_payload("KeyValue", "Set", key="k1", value="v1")
+        sim.run(until=10.0)
+        assert client.receipts[payload.payload_id].status is TxStatus.COMMITTED
+        for node in system.nodes.values():
+            assert node.state.get("k1") == "v1"
+
+    def test_multi_operation_transaction(self):
+        sim, system, client = deploy("bitshares", params={"block_interval": 1.0})
+        payloads = client.submit_multiop(
+            [("Set", {"key": f"k{i}", "value": i}) for i in range(100)], iel="KeyValue"
+        )
+        sim.run(until=10.0)
+        for payload in payloads:
+            assert client.receipts[payload.payload_id].status is TxStatus.COMMITTED
+
+    def test_latency_tracks_block_interval(self):
+        # MFLS close to the block interval (Table 11: 1.09 s at BI=1 s).
+        sim, system, client = deploy("bitshares", params={"block_interval": 1.0})
+        payload = client.submit_payload("KeyValue", "Set", key="k", value=1)
+        sim.run(until=10.0)
+        receipt = client.receipts[payload.payload_id]
+        assert receipt.commit_time < 2.5
+
+    def test_chains_consistent_and_paced(self):
+        sim, system, client = deploy("bitshares", params={"block_interval": 2.0})
+        for i in range(8):
+            sim.schedule(float(i), lambda i=i: client.submit_payload(
+                "KeyValue", "Set", key=f"k{i}", value=i))
+        sim.run(until=20.0)
+        system.validate_all_chains()
+        node = system.nodes[system.node_ids[0]]
+        timestamps = [b.header.timestamp for b in node.chain.blocks()]
+        gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+        assert all(gap >= 1.9 for gap in gaps)
+
+    def test_failing_op_discards_whole_transaction(self):
+        sim, system, client = deploy("bitshares", params={"block_interval": 1.0})
+        payloads = client.submit_multiop(
+            [
+                ("Set", {"key": "a", "value": 1}),
+                ("Get", {"key": "never-written"}),
+            ],
+            iel="KeyValue",
+        )
+        sim.run(until=10.0)
+        statuses = {client.receipts[p.payload_id].status for p in payloads}
+        assert statuses == {TxStatus.DISCARDED}
+        for node in system.nodes.values():
+            assert node.state.get("a") is None
+
+
+class TestInteractingOperations:
+    def setup_chain_payments(self, count=12):
+        sim, system, client = deploy(
+            "bitshares", iel="BankingApp", params={"block_interval": 1.0}
+        )
+        for i in range(count + 1):
+            client.submit_payload("BankingApp", "CreateAccount",
+                                  account=f"acc{i}", checking=1000)
+        sim.run(until=6.0)
+        payments = [
+            client.submit_payload("BankingApp", "SendPayment", source=f"acc{i}",
+                                  destination=f"acc{i + 1}", amount=1)
+            for i in range(count)
+        ]
+        return sim, system, client, payments
+
+    def test_chained_payments_are_deferred(self):
+        sim, system, client, payments = self.setup_chain_payments()
+        sim.run(until=10.0)
+        # The first block admits ~one of the chained payments; the rest
+        # were deferred at least once.
+        assert system.deferred_inclusions > 0
+        confirmed_early = [
+            p for p in payments
+            if p.payload_id in client.receipts
+            and client.receipts[p.payload_id].commit_time < 8.0
+        ]
+        assert len(confirmed_early) < len(payments)
+
+    def test_chain_drains_roughly_one_per_block(self):
+        sim, system, client, payments = self.setup_chain_payments(count=6)
+        sim.run(until=30.0)
+        confirmed = [p for p in payments if p.payload_id in client.receipts]
+        # They all eventually clear, spread over several blocks.
+        assert len(confirmed) == 6
+        times = sorted(client.receipts[p.payload_id].commit_time for p in confirmed)
+        assert times[-1] - times[0] >= 4.0
+
+    def test_unrelated_payments_ride_the_same_block(self):
+        sim, system, client = deploy(
+            "bitshares", iel="BankingApp", params={"block_interval": 1.0}
+        )
+        for name in ["a1", "a2", "b1", "b2"]:
+            client.submit_payload("BankingApp", "CreateAccount", account=name, checking=100)
+        sim.run(until=6.0)
+        p1 = client.submit_payload("BankingApp", "SendPayment", source="a1",
+                                   destination="a2", amount=1)
+        p2 = client.submit_payload("BankingApp", "SendPayment", source="b1",
+                                   destination="b2", amount=1)
+        sim.run(until=12.0)
+        t1 = client.receipts[p1.payload_id].commit_time
+        t2 = client.receipts[p2.payload_id].commit_time
+        assert abs(t1 - t2) < 0.5  # same block
+
+    def test_expiration_clears_stuck_pool(self):
+        sim, system, client, payments = self.setup_chain_payments(count=12)
+        sim.run(until=120.0)
+        # Everything either confirmed or expired; the pool is empty again.
+        assert len(system.pending) == 0

@@ -1,0 +1,166 @@
+"""Tests for the two Corda models: flows, vault scans, notary, degradation."""
+
+import pytest
+
+from repro.storage import TxStatus
+from tests.chains.helpers import deploy
+
+
+class TestFlows:
+    @pytest.mark.parametrize("edition", ["corda_os", "corda_enterprise"])
+    def test_set_finalizes_on_all_nodes(self, edition):
+        sim, system, client = deploy(edition)
+        payload = client.submit_payload("KeyValue", "Set", key="k1", value="v1")
+        sim.run(until=30.0)
+        assert client.receipts[payload.payload_id].status is TxStatus.COMMITTED
+        for node in system.nodes.values():
+            assert "k1" in node.vault
+            assert node.vault["k1"].value == "v1"
+
+    @pytest.mark.parametrize("edition", ["corda_os", "corda_enterprise"])
+    def test_get_after_set_round_trip(self, edition):
+        sim, system, client = deploy(edition)
+        client.submit_payload("KeyValue", "Set", key="k1", value="v1")
+        sim.run(until=30.0)
+        payload = client.submit_payload("KeyValue", "Get", key="k1")
+        sim.run(until=60.0)
+        # A tiny vault scans quickly: the read succeeds on both editions.
+        assert client.receipts[payload.payload_id].status is TxStatus.COMMITTED
+
+    def test_enterprise_is_faster_than_os(self):
+        def confirmed(edition, count=100, window=30.0):
+            sim, system, client = deploy(edition)
+            for i in range(count):
+                sim.schedule(i * 0.1, lambda i=i: client.submit_payload(
+                    "KeyValue", "Set", key=f"k{i}", value=i))
+            sim.run(until=window)
+            return len(client.receipts)
+
+        assert confirmed("corda_enterprise") > 2 * confirmed("corda_os")
+
+    def test_serial_signing_pays_three_wire_round_trips(self):
+        # Isolate the signing pattern with an exaggerated link latency:
+        # OS pays one round trip per counterparty, Enterprise overlaps
+        # them into a single wave.
+        from repro.net import ConstantLatency
+
+        def latency_cost(edition):
+            slow = ConstantLatency(2.0)
+            fast = ConstantLatency(0.0004)
+            def first_latency(latency):
+                sim, system, client = deploy(edition, latency=latency)
+                payload = client.submit_payload("KeyValue", "Set", key="k", value=1)
+                sim.run(until=60.0)
+                return client.receipts[payload.payload_id].commit_time
+            return first_latency(slow) - first_latency(fast)
+
+        os_cost = latency_cost("corda_os")
+        ent_cost = latency_cost("corda_enterprise")
+        # OS: ~3 signing round trips + notary + record; Ent: ~1 + notary
+        # + record. The gap is about two extra round trips (8 s here).
+        assert os_cost - ent_cost > 6.0
+
+
+class TestVaultScans:
+    def test_reads_slow_down_with_vault_size(self):
+        sim, system, client = deploy("corda_enterprise")
+        for i in range(40):
+            sim.schedule(i * 0.1, lambda i=i: client.submit_payload(
+                "KeyValue", "Set", key=f"k{i}", value=i))
+        sim.run(until=60.0)
+        small_vault_scan = None
+        node = system.nodes[system.node_ids[0]]
+        assert len(node.vault) == 40
+        p = client.submit_payload("KeyValue", "Get", key="k5")
+        sim.run(until=120.0)
+        late = client.receipts[p.payload_id]
+        assert late.status is TxStatus.COMMITTED
+
+    def test_os_gets_fail_against_large_vault(self):
+        # Section 5.1: every KeyValue-Get fails on Corda OS because the
+        # vault scan exceeds what a flow can do in time.
+        sim, system, client = deploy("corda_os")
+        node = system.nodes[system.node_ids[0]]
+        from repro.chains.corda_os import VaultEntry
+        from repro.storage.utxo import StateRef
+
+        # Pre-populate the vault as if a Set phase had run.
+        for i in range(2000):
+            entry = VaultEntry(ref=StateRef(f"seed{i}", 0), value=i)
+            for n in system.nodes.values():
+                n.vault[f"k{i}"] = entry
+        payload = client.submit_payload("KeyValue", "Get", key="k500")
+        sim.run(until=120.0)
+        assert payload.payload_id not in client.receipts
+        assert "timed out" in client.rejections[payload.payload_id]
+        assert node.flows_timed_out >= 1
+
+
+class TestNotary:
+    def test_chained_payments_rejected_as_double_spends(self):
+        sim, system, client = deploy("corda_enterprise", iel="BankingApp")
+        for name in ["a", "b", "c"]:
+            client.submit_payload("BankingApp", "CreateAccount", account=name, checking=100)
+        sim.run(until=30.0)
+        # Two rapid-fire payments both spending account b's current state.
+        p1 = client.submit_payload("BankingApp", "SendPayment", source="a",
+                                   destination="b", amount=1)
+        p2 = client.submit_payload("BankingApp", "SendPayment", source="b",
+                                   destination="c", amount=1)
+        sim.run(until=60.0)
+        outcomes = []
+        for p in (p1, p2):
+            if p.payload_id in client.receipts:
+                outcomes.append("committed")
+            elif "double spend" in client.rejections.get(p.payload_id, ""):
+                outcomes.append("rejected")
+        assert sorted(outcomes) == ["committed", "rejected"]
+        assert system.notary_rejected >= 1
+
+    def test_sequential_payments_succeed_when_spaced(self):
+        sim, system, client = deploy("corda_enterprise", iel="BankingApp")
+        for name in ["a", "b"]:
+            client.submit_payload("BankingApp", "CreateAccount", account=name, checking=100)
+        sim.run(until=30.0)
+        p1 = client.submit_payload("BankingApp", "SendPayment", source="a",
+                                   destination="b", amount=10)
+        sim.run(until=60.0)
+        p2 = client.submit_payload("BankingApp", "SendPayment", source="a",
+                                   destination="b", amount=10)
+        sim.run(until=90.0)
+        assert client.receipts[p1.payload_id].status is TxStatus.COMMITTED
+        assert client.receipts[p2.payload_id].status is TxStatus.COMMITTED
+        node = system.nodes[system.node_ids[0]]
+        from repro.iel.banking import checking_key
+        assert node.vault[checking_key("a")].value == 80
+
+
+class TestOverloadBehaviour:
+    def test_os_degrades_under_load(self):
+        def rate_of(offered_per_second, duration=30.0):
+            sim, system, client = deploy("corda_os")
+            count = int(offered_per_second * duration)
+            for i in range(count):
+                sim.schedule(i / offered_per_second, lambda i=i: client.submit_payload(
+                    "KeyValue", "Set", key=f"k{i}", value=i))
+            sim.run(until=duration + 10.0)
+            return len(client.receipts) / duration
+
+        light = rate_of(5)
+        heavy = rate_of(40)
+        # More offered load, *less* goodput: the paper's RL=20 vs RL=160.
+        assert heavy < light
+
+    def test_enterprise_throughput_flat_under_load(self):
+        def rate_of(offered_per_second, duration=30.0):
+            sim, system, client = deploy("corda_enterprise")
+            count = int(offered_per_second * duration)
+            for i in range(count):
+                sim.schedule(i / offered_per_second, lambda i=i: client.submit_payload(
+                    "KeyValue", "Set", key=f"k{i}", value=i))
+            sim.run(until=duration + 10.0)
+            return len(client.receipts) / duration
+
+        light = rate_of(5)
+        heavy = rate_of(40)
+        assert heavy >= 0.8 * light  # stays put instead of collapsing

@@ -1,0 +1,76 @@
+"""Tests for the Section 6 subset-signing extension on Corda."""
+
+import pytest
+
+from repro.storage import TxStatus
+from tests.chains.helpers import deploy
+
+
+class TestSubsetSigning:
+    def test_default_requires_all_counterparties(self):
+        sim, system, client = deploy("corda_enterprise", node_count=8)
+        counterparties = system.signing_counterparties(system.node_ids[0])
+        assert len(counterparties) == 7
+
+    def test_subset_limits_counterparties(self):
+        sim, system, client = deploy(
+            "corda_enterprise", node_count=8, params={"RequiredSigners": 3}
+        )
+        counterparties = system.signing_counterparties(system.node_ids[0])
+        assert len(counterparties) == 3
+        assert system.node_ids[0] not in counterparties
+
+    def test_negative_signers_rejected(self):
+        sim, system, client = deploy(
+            "corda_enterprise", params={"RequiredSigners": -1}
+        )
+        with pytest.raises(ValueError):
+            system.signing_counterparties(system.node_ids[0])
+
+    def test_subset_commit_still_reaches_all_vaults(self):
+        # Signing is a subset, but finality (and thus the end-to-end
+        # confirmation) still covers every node.
+        sim, system, client = deploy(
+            "corda_enterprise", node_count=8, params={"RequiredSigners": 2}
+        )
+        payload = client.submit_payload("KeyValue", "Set", key="k", value="v")
+        sim.run(until=30.0)
+        assert client.receipts[payload.payload_id].status is TxStatus.COMMITTED
+        for node in system.nodes.values():
+            assert "k" in node.vault
+
+    def test_subset_signing_is_faster_at_scale(self):
+        # DoNothing isolates the signature-collection cost (on Set the
+        # contract execution dominates and masks it).
+        def completion_time(params):
+            sim, system, client = deploy(
+                "corda_enterprise", node_count=16, iel="DoNothing", params=params
+            )
+            for i in range(120):
+                sim.schedule(i * 0.05, lambda i=i: client.submit_payload(
+                    "DoNothing", "DoNothing"))
+            sim.run(until=200.0)
+            # The bounded flow backlog may shed an odd flow under burst.
+            assert len(client.receipts) >= 115
+            return max(r.commit_time for r in client.receipts.values())
+
+        full = completion_time({})
+        subset = completion_time({"RequiredSigners": 3})
+        assert subset < 0.8 * full
+
+    def test_notary_still_blocks_double_spends(self):
+        sim, system, client = deploy(
+            "corda_enterprise", iel="BankingApp",
+            node_count=8, params={"RequiredSigners": 2},
+        )
+        for name in ["a", "b", "c"]:
+            client.submit_payload("BankingApp", "CreateAccount", account=name, checking=50)
+        sim.run(until=30.0)
+        p1 = client.submit_payload("BankingApp", "SendPayment", source="a",
+                                   destination="b", amount=1)
+        p2 = client.submit_payload("BankingApp", "SendPayment", source="b",
+                                   destination="c", amount=1)
+        sim.run(until=60.0)
+        rejected = [p for p in (p1, p2)
+                    if "double spend" in client.rejections.get(p.payload_id, "")]
+        assert len(rejected) == 1

@@ -1,0 +1,94 @@
+"""Tests for the Diem model: mempool, block size, spiking."""
+
+import pytest
+
+from repro.storage import TxStatus
+from tests.chains.helpers import deploy
+
+
+def no_spike_params(**extra):
+    params = {"max_block_size": 100}
+    params.update(extra)
+    return params
+
+
+class TestMempool:
+    def test_set_commits_end_to_end(self):
+        sim, system, client = deploy("diem")
+        payload = client.submit_payload("KeyValue", "Set", key="k1", value="v1")
+        sim.run(until=30.0)
+        assert client.receipts[payload.payload_id].status is TxStatus.COMMITTED
+        for node in system.nodes.values():
+            assert node.state.get("k1") == "v1"
+
+    def test_mempool_capacity_rejections(self):
+        sim, system, client = deploy("diem", params={"MempoolCapacity": 5})
+        for i in range(20):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=5.0)
+        assert system.pool_rejections > 0
+        assert len(client.rejections) >= 10
+
+    def test_transactions_stay_pooled_until_committed(self):
+        sim, system, client = deploy("diem")
+        for i in range(50):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=1.0)
+        pooled_early = len(system.mempool)
+        sim.run(until=120.0)
+        assert pooled_early > 0
+        assert len(system.mempool) == 0  # all committed and released
+
+    def test_chains_consistent(self):
+        sim, system, client = deploy("diem")
+        for i in range(30):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=60.0)
+        system.validate_all_chains()
+
+
+class TestBlockSize:
+    def throughput_with(self, max_block_size, count=5000, window=70.0):
+        # Offered ~100/s for 50 s: beyond the BS=100 capacity, near the
+        # BS=2000 capacity.
+        sim, system, client = deploy(
+            "diem", params={"max_block_size": max_block_size, "MempoolCapacity": 100000}
+        )
+        for i in range(count):
+            sim.schedule(i * 0.01, lambda i=i: client.submit_payload(
+                "KeyValue", "Set", key=f"k{i}", value=i))
+        sim.run(until=window)
+        return len(client.receipts)
+
+    def test_larger_blocks_give_higher_throughput(self):
+        # Table 19's shape: BS=2000 clearly outperforms BS=100.
+        small = self.throughput_with(100)
+        large = self.throughput_with(2000)
+        assert large > small * 1.3
+
+
+class TestSpiking:
+    def test_validators_do_spike(self):
+        sim, system, client = deploy("diem")
+        for i in range(100):
+            sim.schedule(i * 1.0, lambda i=i: client.submit_payload(
+                "KeyValue", "Set", key=f"k{i}", value=i))
+        sim.run(until=150.0)
+        spikes = sum(
+            node.spike_count for node in system.nodes.values()
+        )
+        assert spikes > 0
+
+    def test_spiking_delays_confirmations(self):
+        sim, system, client = deploy("diem")
+        # Launch a steady trickle and measure the worst confirmation gap:
+        # pauses of several seconds must be visible.
+        payloads = []
+        for i in range(120):
+            sim.schedule(i * 0.5, lambda i=i: payloads.append(
+                client.submit_payload("KeyValue", "Set", key=f"s{i}", value=i)))
+        sim.run(until=180.0)
+        times = sorted(r.commit_time for r in client.receipts.values())
+        assert len(times) > 50
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        assert max(gaps) > 3.0

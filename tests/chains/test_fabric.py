@@ -1,0 +1,114 @@
+"""Tests for the Fabric model: pipeline, MVCC, block cutting, event loss."""
+
+import pytest
+
+from repro.storage import TxStatus
+from tests.chains.helpers import deploy
+
+
+class TestPipeline:
+    def test_set_commits_end_to_end(self):
+        sim, system, client = deploy("fabric")
+        payload = client.submit_payload("KeyValue", "Set", key="k1", value="v1")
+        sim.run(until=10.0)
+        assert payload.payload_id in client.receipts
+        receipt = client.receipts[payload.payload_id]
+        assert receipt.status is TxStatus.COMMITTED
+        # The write landed in every peer's world state.
+        for node in system.nodes.values():
+            assert node.state.get("k1") == "v1"
+
+    def test_chains_identical_across_peers(self):
+        sim, system, client = deploy("fabric")
+        for i in range(20):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=15.0)
+        system.validate_all_chains()
+        heights = set(system.total_chain_height().values())
+        assert heights != {-1}
+
+    def test_blocks_cut_every_batch_timeout(self):
+        # Low load: the 1-second batch timer cuts the blocks (Section
+        # 5.4: clients see a block event every second).
+        sim, system, client = deploy("fabric")
+        for i in range(6):
+            sim.schedule(float(i), lambda i=i: client.submit_payload(
+                "KeyValue", "Set", key=f"t{i}", value=i))
+        sim.run(until=12.0)
+        node = system.nodes[system.node_ids[0]]
+        # One transaction per block: each got its own timer cut.
+        assert node.chain.height >= 4
+
+    def test_blocks_cut_at_max_message_count(self):
+        sim, system, client = deploy("fabric", params={"MaxMessageCount": 5})
+        for i in range(20):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=10.0)
+        node = system.nodes[system.node_ids[0]]
+        sizes = [len(block.transactions) for block in node.chain.blocks()]
+        assert max(sizes) == 5  # never exceeds MaxMessageCount
+
+    def test_receipt_latency_subsecond_at_low_load(self):
+        sim, system, client = deploy("fabric", params={"MaxMessageCount": 100})
+        at = {}
+        payload = client.submit_payload("KeyValue", "Set", key="k", value="v")
+        sim.run(until=10.0)
+        receipt = client.receipts[payload.payload_id]
+        # MFLS at low load is dominated by the 1 s cut timer.
+        assert receipt.commit_time < 2.0
+
+
+class TestMVCC:
+    def test_stale_read_invalidated_but_on_chain(self):
+        sim, system, client = deploy("fabric", iel="BankingApp")
+        client.submit_payload("BankingApp", "CreateAccount", account="a", checking=100)
+        client.submit_payload("BankingApp", "CreateAccount", account="b", checking=100)
+        sim.run(until=5.0)
+        # Two racing payments from the same account endorse against the
+        # same snapshot: one must be invalidated at validation.
+        p1 = client.submit_payload("BankingApp", "SendPayment", source="a", destination="b", amount=10)
+        p2 = client.submit_payload("BankingApp", "SendPayment", source="a", destination="b", amount=20)
+        sim.run(until=12.0)
+        statuses = sorted(
+            client.receipts[p.payload_id].status.value for p in (p1, p2)
+        )
+        assert statuses == ["committed", "invalidated"]
+        # Both are on every chain regardless (Section 5.4).
+        for node in system.nodes.values():
+            chain_payloads = {
+                payload.payload_id
+                for block in node.chain.blocks()
+                for tx in block.transactions
+                for payload in tx.payloads
+            }
+            assert p1.payload_id in chain_payloads
+            assert p2.payload_id in chain_payloads
+
+    def test_invalidated_counts_as_received(self):
+        sim, system, client = deploy("fabric", iel="BankingApp")
+        client.submit_payload("BankingApp", "CreateAccount", account="a", checking=100)
+        sim.run(until=5.0)
+        p1 = client.submit_payload("BankingApp", "SendPayment", source="a", destination="a0", amount=10)
+        sim.run(until=12.0)
+        receipt = client.receipts[p1.payload_id]
+        # destination missing -> endorsement produced a failing result,
+        # but Fabric still appends and reports the transaction.
+        assert receipt.payload_id == p1.payload_id
+
+
+class TestScalabilityFailure:
+    def test_sixteen_peers_lose_all_notifications(self):
+        sim, system, client = deploy("fabric", node_count=16)
+        for i in range(10):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=20.0)
+        # Peers finalise...
+        assert any(h >= 0 for h in system.total_chain_height().values())
+        # ...but the client hears nothing (Section 5.8.2).
+        assert client.receipts == {}
+
+    def test_eight_peers_still_deliver(self):
+        sim, system, client = deploy("fabric", node_count=8)
+        payload = client.submit_payload("KeyValue", "Set", key="k", value="v")
+        sim.run(until=20.0)
+        assert payload.payload_id in client.receipts

@@ -1,0 +1,127 @@
+"""Tests for Fabric's Kafka ordering mode and the broker itself."""
+
+import pytest
+
+from repro.consensus.kafka import KafkaBroker
+from repro.sim import Simulator
+from repro.storage import TxStatus
+from tests.chains.helpers import deploy
+
+
+class TestKafkaBroker:
+    def test_total_order_and_offsets(self):
+        sim = Simulator(seed=1)
+        broker = KafkaBroker(sim, publish_latency=0.01, per_message_cost=0.001)
+        seen = []
+        broker.subscribe(lambda offset, message: seen.append((offset, message)))
+        for value in ["a", "b", "c"]:
+            broker.publish(value)
+        sim.run()
+        assert seen == [(0, "a"), (1, "b"), (2, "c")]
+        assert broker.log_size() == 3
+
+    def test_all_subscribers_see_the_same_stream(self):
+        sim = Simulator(seed=1)
+        broker = KafkaBroker(sim)
+        streams = [[], [], []]
+        for stream in streams:
+            broker.subscribe(lambda o, m, s=stream: s.append((o, m)))
+        for i in range(10):
+            broker.publish(i)
+        sim.run()
+        assert streams[0] == streams[1] == streams[2]
+
+    def test_late_subscriber_replays_log(self):
+        sim = Simulator(seed=1)
+        broker = KafkaBroker(sim)
+        broker.publish("early")
+        sim.run()
+        replayed = []
+        broker.subscribe(lambda o, m: replayed.append((o, m)))
+        sim.run()
+        assert replayed == [(0, "early")]
+
+    def test_throughput_bounded_by_per_message_cost(self):
+        sim = Simulator(seed=1)
+        broker = KafkaBroker(sim, publish_latency=0.0, per_message_cost=0.01)
+        done = []
+        broker.subscribe(lambda o, m: done.append(sim.now))
+        for i in range(100):
+            broker.publish(i)
+        sim.run()
+        assert done[-1] == pytest.approx(1.0, rel=0.05)  # 100 x 10 ms
+
+    def test_publish_latency_does_not_serialize(self):
+        sim = Simulator(seed=1)
+        broker = KafkaBroker(sim, publish_latency=1.0, per_message_cost=0.001)
+        done = []
+        broker.subscribe(lambda o, m: done.append(sim.now))
+        for i in range(50):
+            broker.publish(i)
+        sim.run()
+        # All published at t=0: they arrive together after 1 s, then
+        # serialise only on the 1 ms processing.
+        assert done[-1] < 1.2
+
+    def test_invalid_parameters(self):
+        sim = Simulator(seed=1)
+        with pytest.raises(ValueError):
+            KafkaBroker(sim, publish_latency=-1)
+
+
+class TestFabricKafkaMode:
+    def test_end_to_end_commit(self):
+        sim, system, client = deploy("fabric", params={"OrderingService": "kafka"})
+        payload = client.submit_payload("KeyValue", "Set", key="k", value="v")
+        sim.run(until=15.0)
+        assert client.receipts[payload.payload_id].status is TxStatus.COMMITTED
+        for node in system.nodes.values():
+            assert node.state.get("k") == "v"
+
+    def test_chains_identical_across_peers(self):
+        sim, system, client = deploy("fabric", params={"OrderingService": "kafka"})
+        for i in range(40):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=20.0)
+        system.validate_all_chains()
+        heights = set(system.total_chain_height().values())
+        assert heights != {-1}
+
+    def test_orderers_cut_identical_blocks(self):
+        sim, system, client = deploy(
+            "fabric", params={"OrderingService": "kafka", "MaxMessageCount": 5}
+        )
+        for i in range(17):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=20.0)
+        counts = {o.blocks_cut for o in system.orderers.values()}
+        assert len(counts) == 1  # every orderer cut the same number
+
+    def test_max_message_count_respected(self):
+        sim, system, client = deploy(
+            "fabric", params={"OrderingService": "kafka", "MaxMessageCount": 4}
+        )
+        for i in range(20):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=20.0)
+        node = system.nodes[system.node_ids[0]]
+        assert max(len(b.transactions) for b in node.chain.blocks()) <= 4
+
+    def test_invalid_ordering_service_rejected(self):
+        with pytest.raises(ValueError):
+            deploy("fabric", params={"OrderingService": "zookeeper"})
+
+    def test_mvcc_validation_still_applies(self):
+        sim, system, client = deploy(
+            "fabric", iel="BankingApp", params={"OrderingService": "kafka"}
+        )
+        client.submit_payload("BankingApp", "CreateAccount", account="a", checking=100)
+        client.submit_payload("BankingApp", "CreateAccount", account="b", checking=100)
+        sim.run(until=5.0)
+        p1 = client.submit_payload("BankingApp", "SendPayment", source="a",
+                                   destination="b", amount=10)
+        p2 = client.submit_payload("BankingApp", "SendPayment", source="a",
+                                   destination="b", amount=20)
+        sim.run(until=12.0)
+        statuses = sorted(client.receipts[p.payload_id].status.value for p in (p1, p2))
+        assert statuses == ["committed", "invalidated"]

@@ -1,0 +1,102 @@
+"""Tests for the Quorum model: order-execute, blockperiod, the stall."""
+
+import pytest
+
+from repro.storage import TxStatus
+from tests.chains.helpers import deploy
+
+
+class TestOrderExecute:
+    def test_set_commits_end_to_end(self):
+        sim, system, client = deploy("quorum")
+        payload = client.submit_payload("KeyValue", "Set", key="k1", value="v1")
+        sim.run(until=15.0)
+        assert client.receipts[payload.payload_id].status is TxStatus.COMMITTED
+        for node in system.nodes.values():
+            assert node.state.get("k1") == "v1"
+
+    def test_block_interval_follows_blockperiod(self):
+        sim, system, client = deploy("quorum", params={"istanbul.blockperiod": 2.0})
+        for i in range(4):
+            sim.schedule(2.0 * i, lambda i=i: client.submit_payload(
+                "KeyValue", "Set", key=f"k{i}", value=i))
+        sim.run(until=20.0)
+        node = system.nodes[system.node_ids[0]]
+        non_empty = [b for b in node.chain.blocks() if not b.is_empty]
+        timestamps = [b.header.timestamp for b in non_empty]
+        gaps = [b - a for a, b in zip(timestamps, timestamps[1:])]
+        assert all(gap >= 1.9 for gap in gaps)
+
+    def test_chains_consistent(self):
+        sim, system, client = deploy("quorum")
+        for i in range(30):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=20.0)
+        system.validate_all_chains()
+
+    def test_sequential_payments_do_not_conflict(self):
+        # Order-execute: unlike Fabric there is no MVCC invalidation;
+        # the paper attributes Quorum's stable BankingApp results to this
+        # (Section 5.5).
+        sim, system, client = deploy("quorum", iel="BankingApp")
+        client.submit_payload("BankingApp", "CreateAccount", account="a", checking=100)
+        client.submit_payload("BankingApp", "CreateAccount", account="b", checking=100)
+        sim.run(until=10.0)
+        payments = [
+            client.submit_payload("BankingApp", "SendPayment", source="a",
+                                  destination="b", amount=1)
+            for __ in range(5)
+        ]
+        sim.run(until=25.0)
+        statuses = {client.receipts[p.payload_id].status for p in payments}
+        assert statuses == {TxStatus.COMMITTED}
+        node = system.nodes[system.node_ids[0]]
+        from repro.iel.banking import checking_key
+        assert node.state.get(checking_key("a")) == 95
+
+
+class TestLivenessStall:
+    def stall_quorum(self, blockperiod, offered_per_second, duration=60.0):
+        sim, system, client = deploy(
+            "quorum", params={"istanbul.blockperiod": blockperiod}
+        )
+        interval = 1.0 / offered_per_second
+        count = int(duration * offered_per_second)
+        for i in range(count):
+            sim.schedule(i * interval, lambda i=i: client.submit_payload(
+                "KeyValue", "Set", key=f"k{i}", value=i))
+        sim.run(until=duration + 30.0)
+        return sim, system, client
+
+    def test_low_blockperiod_high_load_stalls_with_empty_blocks(self):
+        sim, system, client = self.stall_quorum(blockperiod=1.0, offered_per_second=400)
+        # The pool outgrew the selection budget: empty blocks are being
+        # minted and (almost) nothing is confirmed late in the run.
+        assert system.stalled_proposals > 10
+        node = system.nodes[system.node_ids[0]]
+        assert node.empty_blocks > 10
+        late_receipts = [
+            r for r in client.receipts.values() if r.commit_time > 60.0
+        ]
+        assert late_receipts == []
+
+    def test_high_blockperiod_survives_same_load(self):
+        sim, system, client = self.stall_quorum(blockperiod=5.0, offered_per_second=300)
+        assert len(client.receipts) > 0.5 * len(client.receipts | client.rejections.keys())
+        # Confirmations continue through the end of the run.
+        assert max(r.commit_time for r in client.receipts.values()) > 50.0
+
+    def test_low_blockperiod_low_load_is_fine(self):
+        sim, system, client = self.stall_quorum(blockperiod=1.0, offered_per_second=50)
+        assert system.stalled_proposals == 0
+        assert len(client.receipts) > 0.9 * (len(client.receipts) + len(client.rejections))
+
+    def test_txpool_capacity_rejections(self):
+        sim, system, client = deploy(
+            "quorum", params={"TxPoolCapacity": 10, "istanbul.blockperiod": 10.0}
+        )
+        for i in range(50):
+            client.submit_payload("KeyValue", "Set", key=f"k{i}", value=i)
+        sim.run(until=5.0)
+        assert system.pool_rejections > 0
+        assert len(client.rejections) > 0

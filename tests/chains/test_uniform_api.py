@@ -1,0 +1,52 @@
+"""The uniform system API every model must satisfy (COCONUT's contract)."""
+
+import pytest
+
+from repro.chains import DeploymentSpec, SYSTEM_NAMES, create_system
+from repro.chains.profiles import profile_for
+from repro.chains.registry import SYSTEM_LABELS, system_class
+from repro.sim import Simulator
+
+
+@pytest.mark.parametrize("name", SYSTEM_NAMES)
+class TestUniformApi:
+    def build(self, name):
+        sim = Simulator(seed=1)
+        system = create_system(name, sim, DeploymentSpec(), "KeyValue")
+        return sim, system
+
+    def test_registry_is_consistent(self, name):
+        assert system_class(name).name == name
+        assert name in SYSTEM_LABELS
+        assert profile_for(name).system == name
+
+    def test_deployment_shape(self, name):
+        sim, system = self.build(name)
+        assert len(system.node_ids) == 4
+        assert len(system.server_hosts) == 4  # one node per server (Table 4)
+        assert len({system.gateway_for(i) for i in range(4)}) == 4
+
+    def test_stabilization_time_matches_section_4_4(self, name):
+        sim, system = self.build(name)
+        expected = {"bitshares": 180.0, "quorum": 180.0, "sawtooth": 60.0}
+        assert system.stabilization_time == expected.get(name, 0.0)
+
+    def test_start_is_idempotent_per_deployment(self, name):
+        sim, system = self.build(name)
+        system.start()
+        assert system.started
+
+    def test_every_node_has_the_base_equipment(self, name):
+        sim, system = self.build(name)
+        for node in system.nodes.values():
+            assert node.chain.owner == node.endpoint_id
+            assert node.iel.name == "KeyValue"
+            assert node.cpu.capacity >= 1
+
+    def test_unknown_gateway_subscription_rejected(self, name):
+        sim, system = self.build(name)
+        with pytest.raises(KeyError):
+            system.subscribe("client-x", "no-such-node")
+
+    def test_seven_systems_total(self, name):
+        assert len(SYSTEM_NAMES) == 7

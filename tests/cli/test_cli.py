@@ -1,0 +1,89 @@
+"""Tests for the coconut CLI."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fabric" in out and "corda_os" in out
+        assert "fig3" in out and "table19_20" in out
+
+    def test_run_requires_system(self):
+        with pytest.raises(SystemExit):
+            main(["run"])
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--system", "ripple"])
+
+    def test_param_parsing_error(self):
+        with pytest.raises(SystemExit):
+            main(["run", "--system", "fabric", "--param", "oops"])
+
+
+class TestRunCommand:
+    def test_small_run_prints_summary(self, capsys):
+        code = main([
+            "run", "--system", "fabric", "--iel", "DoNothing",
+            "--rate", "50", "--scale", "0.02", "--seed", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "DoNothing" in out
+        assert "MTPS=" in out
+
+    def test_run_with_params_and_output(self, tmp_path, capsys):
+        code = main([
+            "run", "--system", "quorum", "--iel", "DoNothing",
+            "--rate", "50", "--scale", "0.02",
+            "--param", "istanbul.blockperiod=2.0",
+            "--output", str(tmp_path),
+        ])
+        assert code == 0
+        files = list(tmp_path.glob("*.json"))
+        assert len(files) == 1
+        data = json.loads(files[0].read_text())
+        assert data["system"] == "quorum"
+        assert data["params"]["istanbul.blockperiod"] == 2.0
+
+    def test_blockstats_flag(self, capsys):
+        code = main([
+            "run", "--system", "fabric", "--iel", "DoNothing",
+            "--rate", "50", "--scale", "0.02", "--blockstats",
+        ])
+        assert code == 0
+        assert "block stats:" in capsys.readouterr().out
+
+    def test_sweep_command(self, capsys):
+        code = main(["sweep", "sweep_fabric_mm", "--scale", "0.02"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MaxMessageCount=100" in out and "spread=" in out
+
+    def test_bitshares_ops_flag(self, capsys):
+        code = main([
+            "run", "--system", "bitshares", "--iel", "DoNothing",
+            "--rate", "100", "--ops", "100", "--scale", "0.02",
+            "--param", "block_interval=1.0",
+        ])
+        assert code == 0
+        assert "MTPS=" in capsys.readouterr().out
+
+
+class TestExperimentCommand:
+    def test_experiment_runs_and_renders(self, capsys):
+        code = main(["experiment", "table15_16", "--scale", "0.05"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Quorum" in out
+        assert "Paper" in out and "Measured" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])

@@ -1,0 +1,75 @@
+"""Unit tests for the blockchain access layer drivers."""
+
+import pytest
+
+from repro.coconut.bal import BitSharesDriver, SawtoothDriver, SingleTransactionDriver, make_driver
+from repro.storage import Batch, Payload, Transaction
+
+
+def payloads(count):
+    return [
+        Payload.create("client-0", "KeyValue", "Set", {"key": f"k{i}"}) for i in range(count)
+    ]
+
+
+class TestSingleTransactionDriver:
+    def test_wraps_one_payload(self):
+        driver = SingleTransactionDriver("client-0")
+        bundle = driver.wrap(payloads(1))
+        assert isinstance(bundle, Transaction)
+        assert len(bundle.payloads) == 1
+
+    def test_rejects_groups(self):
+        with pytest.raises(ValueError):
+            SingleTransactionDriver("client-0").wrap(payloads(2))
+
+
+class TestBitSharesDriver:
+    def test_wraps_operations_into_one_transaction(self):
+        driver = BitSharesDriver("client-0", ops_per_transaction=100)
+        bundle = driver.wrap(payloads(100))
+        assert isinstance(bundle, Transaction)
+        assert len(bundle.payloads) == 100
+        assert bundle.kind == "bitshares"
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            BitSharesDriver("client-0", ops_per_transaction=0)
+        with pytest.raises(ValueError):
+            BitSharesDriver("client-0", ops_per_transaction=101)
+
+
+class TestSawtoothDriver:
+    def test_wraps_transactions_into_batch(self):
+        driver = SawtoothDriver("client-0", txs_per_batch=50)
+        bundle = driver.wrap(payloads(50))
+        assert isinstance(bundle, Batch)
+        assert len(bundle.transactions) == 50
+        assert all(len(tx.payloads) == 1 for tx in bundle.transactions)
+
+    def test_bounds(self):
+        with pytest.raises(ValueError):
+            SawtoothDriver("client-0", txs_per_batch=0)
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "system, expected",
+        [
+            ("fabric", SingleTransactionDriver),
+            ("quorum", SingleTransactionDriver),
+            ("diem", SingleTransactionDriver),
+            ("corda_os", SingleTransactionDriver),
+            ("corda_enterprise", SingleTransactionDriver),
+            ("bitshares", BitSharesDriver),
+            ("sawtooth", SawtoothDriver),
+        ],
+    )
+    def test_driver_per_system(self, system, expected):
+        driver = make_driver(system, "client-0", ops_per_transaction=2, txs_per_batch=2)
+        assert isinstance(driver, expected)
+
+    def test_group_sizes(self):
+        assert make_driver("bitshares", "c", ops_per_transaction=50).group_size == 50
+        assert make_driver("sawtooth", "c", txs_per_batch=10).group_size == 10
+        assert make_driver("fabric", "c").group_size == 1

@@ -1,0 +1,81 @@
+"""Unit tests for benchmark configuration."""
+
+import pytest
+
+from repro.coconut import BenchmarkConfig, unit_for_iel
+from repro.coconut.config import UNIT_PHASES
+
+
+class TestUnits:
+    def test_unit_sequences_match_section_4_1(self):
+        assert UNIT_PHASES["DoNothing"] == ("DoNothing",)
+        assert UNIT_PHASES["KeyValue"] == ("Set", "Get")
+        assert UNIT_PHASES["BankingApp"] == ("CreateAccount", "SendPayment", "Balance")
+
+    def test_unknown_iel(self):
+        with pytest.raises(KeyError):
+            unit_for_iel("Oracle")
+
+
+class TestBenchmarkConfig:
+    def base(self, **overrides):
+        kwargs = dict(system="fabric", iel="KeyValue", rate_limit=100)
+        kwargs.update(overrides)
+        return BenchmarkConfig(**kwargs)
+
+    def test_defaults_follow_section_4_3(self):
+        config = self.base()
+        assert config.send_duration == 300.0
+        assert config.listen_duration == 330.0
+        assert config.total_duration == 420.0
+        assert config.client_count == 4
+        assert config.workload_threads == 4
+        assert config.repetitions == 3
+
+    def test_aggregate_rate(self):
+        assert self.base(rate_limit=400).aggregate_rate == 1600
+
+    def test_scale_shrinks_windows(self):
+        config = self.base(scale=0.1)
+        assert config.scaled_send == pytest.approx(30.0)
+        assert config.scaled_listen == pytest.approx(33.0)
+        assert config.scaled_total == pytest.approx(42.0)
+
+    def test_phase_subset(self):
+        config = self.base(phases=("Set",))
+        assert config.phase_sequence == ("Set",)
+
+    def test_invalid_phase_subset(self):
+        config = self.base(phases=("Balance",))
+        with pytest.raises(ValueError):
+            __ = config.phase_sequence
+
+    def test_bundle_settings_are_system_specific(self):
+        with pytest.raises(ValueError):
+            self.base(ops_per_transaction=50)
+        with pytest.raises(ValueError):
+            self.base(txs_per_batch=50)
+        BenchmarkConfig(system="bitshares", iel="KeyValue", rate_limit=100,
+                        ops_per_transaction=50)
+        BenchmarkConfig(system="sawtooth", iel="KeyValue", rate_limit=100,
+                        txs_per_batch=50)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            self.base(rate_limit=0)
+        with pytest.raises(ValueError):
+            self.base(scale=0.0)
+        with pytest.raises(ValueError):
+            self.base(scale=1.5)
+        with pytest.raises(ValueError):
+            self.base(send_duration=400, listen_duration=330)
+
+    def test_label_is_filename_friendly_and_distinct(self):
+        a = self.base(params={"MaxMessageCount": 100})
+        b = self.base(params={"MaxMessageCount": 500})
+        assert a.label() != b.label()
+        assert " " not in a.label()
+
+    def test_expected_payloads(self):
+        config = self.base(rate_limit=50, scale=0.1)
+        assert config.expected_payloads_per_client == 1500  # 50/s for 30 s

@@ -1,0 +1,106 @@
+"""Unit tests for the Section 4.5 metric formulas."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.coconut.client import PayloadRecord
+from repro.coconut.metrics import MetricSummary, PhaseMetrics, aggregate, confidence_interval
+
+
+class FakeClient:
+    """Just enough of CoconutClient for metric computation."""
+
+    def __init__(self, records):
+        self._records = records
+
+    def phase_records(self, phase):
+        return self._records
+
+    def sent_count(self, phase):
+        return len(self._records)
+
+    def received_records(self, phase):
+        return [r for r in self._records if r.received]
+
+    def first_send_time(self, phase):
+        return min((r.start_time for r in self._records), default=None)
+
+    def last_receive_time(self, phase):
+        received = self.received_records(phase)
+        return max((r.end_time for r in received), default=None)
+
+
+def record(start, end=None, status="pending"):
+    return PayloadRecord(payload_id=f"p{start}-{end}", phase="Set",
+                         start_time=start, end_time=end, status=status)
+
+
+class TestAggregate:
+    def test_single_value(self):
+        summary = aggregate([5.0])
+        assert summary == MetricSummary(5.0, 0.0, 0.0, 0.0)
+
+    def test_empty(self):
+        assert aggregate([]).mean == 0.0
+
+    def test_three_repetitions_match_paper_statistics(self):
+        # r=3: CI = t(0.975, df=2) * SEM with t ~ 4.303 (visible in the
+        # paper's tables, e.g. SEM 4.58 -> CI 19.72 in Table 8).
+        summary = aggregate([10.0, 12.0, 14.0])
+        assert summary.mean == pytest.approx(12.0)
+        assert summary.sd == pytest.approx(2.0)
+        assert summary.sem == pytest.approx(2.0 / 3 ** 0.5)
+        assert summary.ci95 / summary.sem == pytest.approx(4.3027, rel=1e-3)
+
+    def test_confidence_interval_bounds(self):
+        low, high = confidence_interval([10.0, 12.0, 14.0])
+        assert low < 12.0 < high
+
+    @given(st.lists(st.floats(min_value=-1e6, max_value=1e6), min_size=2, max_size=10))
+    def test_sd_nonnegative_and_mean_within_range(self, values):
+        summary = aggregate(values)
+        assert summary.sd >= 0
+        assert min(values) - 1e-6 <= summary.mean <= max(values) + 1e-6
+
+
+class TestPhaseMetrics:
+    def test_formulas_on_known_records(self):
+        # Client A sends at t=0 and t=1; confirmations at 2 and 4.
+        # Client B sends at t=0.5; confirmation at 3.
+        a = FakeClient([record(0.0, 2.0, "received"), record(1.0, 4.0, "received")])
+        b = FakeClient([record(0.5, 3.0, "received")])
+        metrics = PhaseMetrics.from_clients([a, b], "Set", repetition=0)
+        assert metrics.expected == 3
+        assert metrics.received == 3
+        assert metrics.t_first_send == 0.0  # t_fstx across clients
+        assert metrics.t_last_receive == 4.0  # t_lrtx across clients
+        assert metrics.duration == pytest.approx(4.0)  # Formula (3)
+        assert metrics.tps == pytest.approx(3 / 4.0)  # Formula (2)
+        assert metrics.mean_fls == pytest.approx((2.0 + 3.0 + 2.5) / 3)  # Formula (1)
+
+    def test_unconfirmed_payloads_counted_as_lost(self):
+        client = FakeClient([
+            record(0.0, 2.0, "received"),
+            record(1.0),  # never confirmed
+            record(2.0, 5.0, "failed"),  # rejected
+        ])
+        metrics = PhaseMetrics.from_clients([client], "Set", repetition=0)
+        assert metrics.expected == 3
+        assert metrics.received == 1
+        assert metrics.not_received == 2
+        assert metrics.failed == 1
+
+    def test_total_failure_reports_zeros(self):
+        # Table 15's 0.00 rows: nothing received -> MTPS 0, duration 0.
+        client = FakeClient([record(0.0), record(1.0)])
+        metrics = PhaseMetrics.from_clients([client], "Set", repetition=0)
+        assert metrics.received == 0
+        assert metrics.tps == 0.0
+        assert metrics.duration == 0.0
+        assert metrics.mean_fls == 0.0
+
+    def test_round_trip_serialization(self):
+        client = FakeClient([record(0.0, 2.0, "received")])
+        metrics = PhaseMetrics.from_clients([client], "Set", repetition=1)
+        assert PhaseMetrics.from_dict(metrics.to_dict()) == metrics

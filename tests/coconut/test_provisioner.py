@@ -1,0 +1,58 @@
+"""Unit tests for deployment provisioning."""
+
+import pytest
+
+from repro.coconut import BenchmarkConfig
+from repro.coconut.provisioner import CLIENT_SERVER_COUNT, Provisioner
+
+
+def provision(system="fabric", **overrides):
+    kwargs = dict(system=system, iel="KeyValue", rate_limit=50, scale=0.02, repetitions=1)
+    kwargs.update(overrides)
+    return Provisioner().provision(BenchmarkConfig(**kwargs), repetition=0)
+
+
+class TestProvisioner:
+    def test_four_clients_on_two_client_servers(self):
+        rig = provision()
+        assert len(rig.clients) == 4
+        hosts = {client.host.name for client in rig.clients}
+        assert len(hosts) == CLIENT_SERVER_COUNT
+
+    def test_each_client_targets_a_different_node(self):
+        # Section 4.3: each COCONUT client sends to a different server.
+        rig = provision()
+        gateways = [client.gateway_id for client in rig.clients]
+        assert len(set(gateways)) == 4
+
+    def test_clients_subscribed_for_receipts(self):
+        rig = provision()
+        for client in rig.clients:
+            assert rig.system.subscriptions[client.endpoint_id] == client.gateway_id
+
+    def test_system_started(self):
+        rig = provision()
+        assert rig.system.started
+
+    def test_repetitions_get_fresh_rigs_with_distinct_seeds(self):
+        provisioner = Provisioner()
+        config = BenchmarkConfig(system="fabric", iel="KeyValue", rate_limit=50,
+                                 scale=0.02, repetitions=2, seed=3)
+        rig_a = provisioner.provision(config, repetition=0)
+        rig_b = provisioner.provision(config, repetition=1)
+        assert rig_a.system is not rig_b.system
+        assert rig_a.sim.rng.master_seed != rig_b.sim.rng.master_seed
+
+    def test_node_count_respected(self):
+        rig = provision(node_count=8)
+        assert len(rig.system.node_ids) == 8
+
+
+class TestResultStorePaths:
+    def test_label_sanitisation(self, tmp_path):
+        from repro.coconut.results import ResultStore
+
+        store = ResultStore(tmp_path)
+        path = store.path_for("fabric/KeyValue rl:800?MM=100")
+        assert path.parent == tmp_path
+        assert "/" not in path.stem and "?" not in path.stem and " " not in path.stem

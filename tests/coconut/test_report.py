@@ -1,0 +1,59 @@
+"""Unit tests for the text report renderers."""
+
+from repro.coconut.metrics import PhaseMetrics
+from repro.coconut.report import format_table, heatmap, metrics_table, transactions_table
+from repro.coconut.results import PhaseResult
+
+
+def phase_result(tps=10.0, fls=1.0, received=100, expected=120, reps=3):
+    return PhaseResult(
+        phase="Set",
+        repetitions=[
+            PhaseMetrics(
+                phase="Set", repetition=i, expected=expected, received=received,
+                failed=expected - received, t_first_send=0.0,
+                t_last_receive=10.0, duration=10.0, tps=tps + i, mean_fls=fls,
+            )
+            for i in range(reps)
+        ],
+    )
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["A", "Blong"], [["1", "2"], ["333", "4"]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) >= 1
+        assert lines[0].startswith("A")
+
+    def test_empty_rows(self):
+        table = format_table(["Col1", "Col2"], [])
+        assert "Col1" in table
+        assert len(table.splitlines()) == 2
+
+    def test_wide_cells_stretch_columns(self):
+        table = format_table(["H"], [["a-very-wide-cell"]])
+        header, divider, row = table.splitlines()
+        assert len(divider) >= len("a-very-wide-cell")
+
+
+class TestMetricTables:
+    def test_metrics_table_has_statistics_columns(self):
+        table = metrics_table([("RL=20", phase_result())])
+        assert "SD" in table and "SEM" in table and "±" in table
+        assert "11.00" in table  # mean of 10, 11, 12
+
+    def test_transactions_table_counts(self):
+        table = transactions_table([("RL=20", phase_result())])
+        assert "100.00" in table and "120.00" in table
+
+    def test_heatmap_failure_cells(self):
+        dead = phase_result(received=0, expected=100, tps=0.0)
+        grid = heatmap(
+            {("Set", "A"): phase_result(), ("Set", "B"): dead},
+            row_labels=["Set"],
+            column_labels=["A", "B", "C"],
+        )
+        assert "MTPS=11.00" in grid
+        assert grid.count("FAIL") == 2  # the dead cell and the absent one

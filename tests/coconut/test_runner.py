@@ -1,0 +1,105 @@
+"""Integration tests for the runner, client, results and report."""
+
+import pytest
+
+from repro.coconut import BenchmarkConfig, BenchmarkRunner, ResultStore
+from repro.coconut.report import heatmap, metrics_table, transactions_table, unit_summary
+from repro.coconut.results import UnitResult
+
+
+@pytest.fixture(scope="module")
+def fabric_result():
+    config = BenchmarkConfig(
+        system="fabric", iel="KeyValue", rate_limit=100, scale=0.02,
+        repetitions=2, seed=11,
+    )
+    return BenchmarkRunner().run(config)
+
+
+class TestRunner:
+    def test_unit_runs_both_phases(self, fabric_result):
+        assert set(fabric_result.phases) == {"Set", "Get"}
+
+    def test_metrics_are_plausible(self, fabric_result):
+        set_phase = fabric_result.phase("Set")
+        assert set_phase.mtps.mean > 0
+        assert set_phase.mfls.mean > 0
+        assert set_phase.received.mean > 0
+        assert set_phase.received.mean <= set_phase.expected.mean
+
+    def test_repetition_count(self, fabric_result):
+        assert len(fabric_result.phase("Set").repetitions) == 2
+
+    def test_duration_within_listen_window(self, fabric_result):
+        # D = t_lrtx - t_fstx can't exceed the listen window.
+        config_listen = 330.0 * 0.02
+        for rep in fabric_result.phase("Set").repetitions:
+            assert rep.duration <= config_listen + 1e-6
+
+    def test_expected_matches_offered_load(self, fabric_result):
+        # 4 clients x 100/s x 6 s send window.
+        set_phase = fabric_result.phase("Set")
+        assert set_phase.expected.mean == pytest.approx(4 * 100 * 6.0, rel=0.05)
+
+    def test_repetitions_are_reproducible(self):
+        config = BenchmarkConfig(
+            system="bitshares", iel="DoNothing", rate_limit=100, scale=0.02,
+            repetitions=1, seed=21, params={"block_interval": 1.0},
+        )
+        first = BenchmarkRunner().run(config)
+        second = BenchmarkRunner().run(config)
+        assert first.phase("DoNothing").mtps.mean == second.phase("DoNothing").mtps.mean
+
+    def test_progress_callback_invoked(self):
+        lines = []
+        config = BenchmarkConfig(
+            system="quorum", iel="DoNothing", rate_limit=50, scale=0.02,
+            repetitions=1, seed=3,
+        )
+        BenchmarkRunner(progress=lines.append).run(config)
+        assert any("repetition" in line for line in lines)
+
+
+class TestResultStore:
+    def test_round_trip(self, fabric_result, tmp_path):
+        store = ResultStore(tmp_path)
+        path = store.save(fabric_result)
+        assert path.exists()
+        loaded = store.load(fabric_result.label)
+        assert loaded.label == fabric_result.label
+        assert loaded.phase("Set").mtps.mean == pytest.approx(
+            fabric_result.phase("Set").mtps.mean
+        )
+        assert store.labels() == [path.stem]
+
+    def test_runner_persists_when_given_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        config = BenchmarkConfig(
+            system="fabric", iel="DoNothing", rate_limit=50, scale=0.02,
+            repetitions=1, seed=5,
+        )
+        result = BenchmarkRunner(store=store).run(config)
+        assert store.labels() == [store.path_for(result.label).stem]
+
+
+class TestReport:
+    def test_metrics_table_renders(self, fabric_result):
+        table = metrics_table([("RL=400", fabric_result.phase("Set"))])
+        assert "MTPS" in table and "95% CI" in table and "RL=400" in table
+
+    def test_transactions_table_renders(self, fabric_result):
+        table = transactions_table([("RL=400", fabric_result.phase("Set"))])
+        assert "Received NoT" in table and "Expected NoT" in table
+
+    def test_unit_summary_mentions_phases(self, fabric_result):
+        text = unit_summary(fabric_result)
+        assert "Set" in text and "Get" in text
+
+    def test_heatmap_marks_failures(self, fabric_result):
+        grid = heatmap(
+            {("Set", "Fabric"): fabric_result.phase("Set")},
+            row_labels=["Set", "Get"],
+            column_labels=["Fabric", "Quorum"],
+        )
+        assert "MTPS=" in grid
+        assert "FAIL" in grid  # the missing cells

@@ -1,0 +1,106 @@
+"""Unit and property tests for workload generation."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coconut import WorkloadPlan
+
+
+class TestKeyValueWorkload:
+    def test_set_keys_never_duplicate(self):
+        # Section 4.1: no duplicate writes.
+        plan = WorkloadPlan("client-0", threads=4)
+        keys = [
+            plan.args_for("KeyValue", "Set", thread)["key"]
+            for thread in range(4)
+            for __ in range(50)
+        ]
+        assert len(keys) == len(set(keys))
+
+    def test_get_replays_set_keys_in_order(self):
+        plan = WorkloadPlan("client-0", threads=2)
+        set_keys = [plan.args_for("KeyValue", "Set", 0)["key"] for __ in range(10)]
+        get_keys = [plan.args_for("KeyValue", "Get", 0)["key"] for __ in range(10)]
+        assert get_keys == set_keys
+
+    def test_threads_have_disjoint_key_spaces(self):
+        plan = WorkloadPlan("client-0", threads=2)
+        a = {plan.args_for("KeyValue", "Set", 0)["key"] for __ in range(20)}
+        b = {plan.args_for("KeyValue", "Set", 1)["key"] for __ in range(20)}
+        assert not a & b
+
+    def test_clients_have_disjoint_key_spaces(self):
+        plan_a = WorkloadPlan("client-0", threads=1)
+        plan_b = WorkloadPlan("client-1", threads=1)
+        a = {plan_a.args_for("KeyValue", "Set", 0)["key"] for __ in range(20)}
+        b = {plan_b.args_for("KeyValue", "Set", 0)["key"] for __ in range(20)}
+        assert not a & b
+
+
+class TestBankingWorkload:
+    def test_payment_chains_consecutive_accounts(self):
+        # Section 4.1: SendPayment sends from account_n to account_{n+1}.
+        plan = WorkloadPlan("client-0", threads=1)
+        accounts = [plan.args_for("BankingApp", "CreateAccount", 0)["account"]
+                    for __ in range(5)]
+        first = plan.args_for("BankingApp", "SendPayment", 0)
+        second = plan.args_for("BankingApp", "SendPayment", 0)
+        assert first["source"] == accounts[0]
+        assert first["destination"] == accounts[1]
+        assert second["source"] == accounts[1]  # overlap: the stressor
+        assert second["destination"] == accounts[2]
+
+    def test_balance_replays_accounts(self):
+        plan = WorkloadPlan("client-0", threads=1)
+        accounts = [plan.args_for("BankingApp", "CreateAccount", 0)["account"]
+                    for __ in range(3)]
+        balances = [plan.args_for("BankingApp", "Balance", 0)["account"]
+                    for __ in range(3)]
+        assert balances == accounts
+
+    def test_create_account_has_initial_funds(self):
+        plan = WorkloadPlan("client-0", threads=1)
+        args = plan.args_for("BankingApp", "CreateAccount", 0)
+        assert args["checking"] > 0
+        assert args["saving"] > 0
+
+
+class TestDoNothingWorkload:
+    def test_empty_args(self):
+        plan = WorkloadPlan("client-0", threads=1)
+        assert plan.args_for("DoNothing", "DoNothing", 0) == {}
+
+
+class TestValidation:
+    def test_thread_bounds(self):
+        plan = WorkloadPlan("client-0", threads=2)
+        import pytest
+        with pytest.raises(IndexError):
+            plan.args_for("KeyValue", "Set", 2)
+
+    def test_unknown_phase(self):
+        plan = WorkloadPlan("client-0", threads=1)
+        import pytest
+        with pytest.raises(KeyError):
+            plan.args_for("KeyValue", "Scan", 0)
+
+    def test_generated_count(self):
+        plan = WorkloadPlan("client-0", threads=2)
+        for __ in range(3):
+            plan.args_for("KeyValue", "Set", 0)
+            plan.args_for("KeyValue", "Set", 1)
+        assert plan.generated_count("Set") == 6
+        assert plan.generated_count("Get") == 0
+
+
+class TestWorkloadProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(min_value=1, max_value=8), st.integers(min_value=1, max_value=60))
+    def test_uniqueness_across_any_layout(self, threads, per_thread):
+        plan = WorkloadPlan("client-x", threads=threads)
+        keys = [
+            plan.args_for("KeyValue", "Set", thread)["key"]
+            for thread in range(threads)
+            for __ in range(per_thread)
+        ]
+        assert len(keys) == len(set(keys))

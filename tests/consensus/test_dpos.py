@@ -1,0 +1,125 @@
+"""Tests for the DPoS engine: witness schedule, slot production, misses."""
+
+import pytest
+
+from repro.consensus.dpos import DposEngine
+from tests.consensus.harness import Cluster
+
+
+class SlotFeed:
+    """Factory producing a block for every slot up to a count."""
+
+    def __init__(self, count=100):
+        self.count = count
+        self.produced = []
+
+    def factory(self, slot):
+        if slot >= self.count:
+            return None
+        proposal = f"block-slot-{slot}"
+        self.produced.append(proposal)
+        return proposal
+
+
+def build(n=4, witnesses=3, interval=1.0, feed=None, seed=1):
+    feed = feed or SlotFeed()
+    witness_ids = [f"n{i}" for i in range(witnesses)]
+    cluster = Cluster(
+        n,
+        lambda ctx, node_id: DposEngine(
+            ctx,
+            witnesses=witness_ids,
+            block_interval=interval,
+            proposal_factory=feed.factory,
+        ),
+        seed=seed,
+    )
+    cluster.start()
+    return cluster, feed
+
+
+class TestSchedule:
+    def test_witness_rotation(self):
+        cluster, __ = build()
+        engine = cluster.engines()[0]
+        assert [engine.witness_for_slot(s) for s in range(6)] == [
+            "n0", "n1", "n2", "n0", "n1", "n2",
+        ]
+
+    def test_slot_times_match_interval(self):
+        cluster, __ = build(interval=2.0)
+        engine = cluster.engines()[0]
+        assert engine.slot_time(0) == 2.0
+        assert engine.slot_time(4) == 10.0
+
+    def test_invalid_configuration(self):
+        cluster = Cluster(4, lambda ctx, nid: DposEngine(ctx, witnesses=["n0"]))
+        with pytest.raises(ValueError):
+            DposEngine(cluster.engines()[0].context, witnesses=[])
+        with pytest.raises(ValueError):
+            DposEngine(cluster.engines()[0].context, witnesses=["ghost"])
+        with pytest.raises(ValueError):
+            DposEngine(cluster.engines()[0].context, witnesses=["n0"], block_interval=0)
+
+
+class TestProduction:
+    def test_one_block_per_interval(self):
+        cluster, feed = build(interval=1.0)
+        cluster.sim.run(until=10.5)
+        decided = cluster.decided_proposals("n3")  # non-witness observer
+        assert len(decided) == 10
+
+    def test_all_nodes_apply_same_chain(self):
+        cluster, __ = build()
+        cluster.sim.run(until=8.5)
+        cluster.assert_all_consistent()
+        lengths = {len(cluster.decided_proposals(nid)) for nid in cluster.node_ids}
+        assert lengths == {8}
+
+    def test_heights_consecutive(self):
+        cluster, __ = build()
+        cluster.sim.run(until=6.5)
+        sequences = [d.sequence for d in cluster.decisions_of("n0")]
+        assert sequences == list(range(len(sequences)))
+
+    def test_producers_follow_schedule(self):
+        cluster, __ = build()
+        cluster.sim.run(until=6.5)
+        proposers = [d.proposer for d in cluster.decisions_of("n3")]
+        assert proposers == ["n0", "n1", "n2", "n0", "n1", "n2"]
+
+    def test_empty_factory_misses_slot(self):
+        cluster, feed = build(feed=SlotFeed(count=3))
+        cluster.sim.run(until=10.5)
+        assert len(cluster.decided_proposals("n0")) == 3
+        producers = [e for e in cluster.engines() if e.is_witness]
+        assert sum(e.missed_slots for e in producers) > 0
+
+
+class TestWitnessFailure:
+    def test_stopped_witness_misses_only_its_slots(self):
+        cluster, __ = build(interval=1.0)
+        cluster.nodes["n1"].engine.stop()
+        cluster.sim.run(until=9.5)
+        proposers = [d.proposer for d in cluster.decisions_of("n3")]
+        assert "n1" not in proposers
+        # n0 and n2 still produced all their slots: 6 of 9.
+        assert len(proposers) == 6
+
+    def test_recovered_witness_resumes(self):
+        cluster, __ = build(interval=1.0)
+        engine = cluster.nodes["n1"].engine
+        engine.stop()
+        cluster.sim.schedule(4.5, engine.recover)
+        cluster.sim.run(until=12.5)
+        proposers = [d.proposer for d in cluster.decisions_of("n3")]
+        assert "n1" in proposers
+
+    def test_throughput_independent_of_node_count(self):
+        # The core scalability property from Section 5.8.2: adding
+        # non-witness nodes never slows block production.
+        small, __ = build(n=4, witnesses=3, interval=1.0)
+        small.sim.run(until=10.5)
+        large, __ = build(n=32, witnesses=3, interval=1.0)
+        large.sim.run(until=10.5)
+        assert len(small.decided_proposals("n3")) == len(large.decided_proposals("n31"))

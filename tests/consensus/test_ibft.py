@@ -1,0 +1,118 @@
+"""Tests for the IBFT engine: height-sequential commit, round changes."""
+
+from repro.consensus.ibft import IbftEngine
+from tests.consensus.harness import Cluster
+
+
+class HeightFeed:
+    """Proposal factory keyed by height, shared by all validators."""
+
+    def __init__(self):
+        self.by_height = {}
+
+    def factory(self, height):
+        return self.by_height.get(height)
+
+
+def build(n=4, seed=1, round_timeout=1.0):
+    feed = HeightFeed()
+    cluster = Cluster(
+        n,
+        lambda ctx, node_id: IbftEngine(
+            ctx, proposal_factory=feed.factory, round_timeout=round_timeout
+        ),
+        seed=seed,
+    )
+    cluster.start()
+    return cluster, feed
+
+
+def proposer_of(cluster):
+    return next(e for e in cluster.engines() if e.is_proposer)
+
+
+def pump(cluster, ticks, period=0.5):
+    """Drive the blockperiod timer on every validator."""
+    for i in range(ticks):
+        for engine in cluster.engines():
+            cluster.sim.schedule(i * period, lambda e=engine: e.maybe_propose())
+    cluster.sim.run(until=ticks * period + 3.0)
+
+
+class TestHappyPath:
+    def test_blocks_commit_in_height_order(self):
+        cluster, feed = build()
+        feed.by_height = {h: f"block-{h}" for h in range(5)}
+        pump(cluster, ticks=8)
+        for node_id in cluster.node_ids:
+            decided = cluster.decided_proposals(node_id)
+            assert decided == [f"block-{h}" for h in range(len(decided))]
+            assert len(decided) == 5
+        cluster.assert_all_consistent()
+
+    def test_proposer_rotates_with_height(self):
+        cluster, feed = build()
+        engine = cluster.engines()[0]
+        proposers = {engine.proposer_for(h, 0) for h in range(4)}
+        assert proposers == set(cluster.node_ids)
+
+    def test_decision_sequence_is_height(self):
+        cluster, feed = build()
+        feed.by_height = {0: "genesis-block"}
+        pump(cluster, ticks=2)
+        decision = cluster.decisions_of(cluster.node_ids[0])[0]
+        assert decision.sequence == 0
+
+    def test_only_proposer_may_propose(self):
+        cluster, feed = build()
+        outsider = next(e for e in cluster.engines() if not e.is_proposer)
+        outsider.submit_proposal("rogue")
+        cluster.sim.run(until=2.0)
+        assert all(not cluster.decided_proposals(nid) for nid in cluster.node_ids)
+
+    def test_no_proposal_no_progress(self):
+        cluster, feed = build()
+        pump(cluster, ticks=3)
+        assert all(not cluster.decided_proposals(nid) for nid in cluster.node_ids)
+
+
+class TestRoundChange:
+    def test_dead_proposer_rotates_out(self):
+        cluster, feed = build(n=4, round_timeout=0.5)
+        feed.by_height = {0: "block-0"}
+        dead = proposer_of(cluster)
+        dead.stop()
+        pump(cluster, ticks=10, period=0.5)
+        live = [nid for nid in cluster.node_ids if nid != dead.replica_id]
+        for node_id in live:
+            assert cluster.decided_proposals(node_id) == ["block-0"]
+        # The block was proposed by the round-1 proposer, not the dead one.
+        decision = cluster.decisions_of(live[0])[0]
+        assert decision.proposer != dead.replica_id
+
+    def test_round_number_advances_on_timeout(self):
+        cluster, feed = build(n=4, round_timeout=0.5)
+        dead = proposer_of(cluster)
+        dead.stop()
+        cluster.sim.run(until=3.0)
+        live_engines = [e for e in cluster.engines() if e is not dead]
+        assert all(e.round >= 1 for e in live_engines)
+
+    def test_multiple_heights_with_failed_rounds(self):
+        cluster, feed = build(n=4, round_timeout=0.5)
+        feed.by_height = {h: f"block-{h}" for h in range(3)}
+        dead = proposer_of(cluster)
+        dead.stop()
+        pump(cluster, ticks=20, period=0.5)
+        live = [nid for nid in cluster.node_ids if nid != dead.replica_id]
+        for node_id in live:
+            assert cluster.decided_proposals(node_id) == ["block-0", "block-1", "block-2"]
+
+    def test_two_dead_validators_stall_n4(self):
+        cluster, feed = build(n=4, round_timeout=0.5)
+        feed.by_height = {0: "block-0"}
+        engines = cluster.engines()
+        engines[0].stop()
+        engines[1].stop()
+        pump(cluster, ticks=10, period=0.5)
+        assert all(not cluster.decided_proposals(nid) for nid in cluster.node_ids)

@@ -1,0 +1,108 @@
+"""Tests for the Corda notary uniqueness service."""
+
+import pytest
+
+from repro.consensus.notary import NotaryService
+from repro.sim import Simulator
+from repro.storage.utxo import StateRef
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=1)
+
+
+def run_request(sim, notary, tx_id, refs):
+    process = notary.notarise(tx_id, refs)
+    sim.run()
+    return process.value
+
+
+class TestUniqueness:
+    def test_first_spend_accepted(self, sim):
+        notary = NotaryService(sim)
+        ok, conflicts = run_request(sim, notary, "tx1", [StateRef("genesis", 0)])
+        assert ok
+        assert conflicts == []
+        assert notary.accepted == 1
+
+    def test_double_spend_rejected(self, sim):
+        notary = NotaryService(sim)
+        ref = StateRef("genesis", 0)
+        run_request(sim, notary, "tx1", [ref])
+        ok, conflicts = run_request(sim, notary, "tx2", [ref])
+        assert not ok
+        assert conflicts == [ref]
+        assert notary.rejected == 1
+
+    def test_partial_conflict_rejects_whole_transaction(self, sim):
+        notary = NotaryService(sim)
+        spent = StateRef("genesis", 0)
+        fresh = StateRef("genesis", 1)
+        run_request(sim, notary, "tx1", [spent])
+        ok, conflicts = run_request(sim, notary, "tx2", [spent, fresh])
+        assert not ok
+        assert conflicts == [spent]
+        # The fresh input must remain spendable.
+        ok2, __ = run_request(sim, notary, "tx3", [fresh])
+        assert ok2
+
+    def test_empty_input_transaction_accepted(self, sim):
+        # Issuance transactions consume nothing.
+        notary = NotaryService(sim)
+        ok, conflicts = run_request(sim, notary, "tx1", [])
+        assert ok
+        assert conflicts == []
+
+    def test_is_spent(self, sim):
+        notary = NotaryService(sim)
+        ref = StateRef("genesis", 0)
+        assert not notary.is_spent(ref)
+        run_request(sim, notary, "tx1", [ref])
+        assert notary.is_spent(ref)
+
+
+class TestServiceModel:
+    def test_serial_notary_processes_one_at_a_time(self, sim):
+        notary = NotaryService(sim, workers=1, service_time=1.0)
+        done_times = []
+
+        def track(index):
+            process = notary.notarise(f"tx{index}", [StateRef("g", index)])
+            process.add_callback(lambda e: done_times.append(sim.now))
+
+        for index in range(3):
+            track(index)
+        sim.run()
+        assert done_times == [1.0, 2.0, 3.0]
+
+    def test_parallel_notary_overlaps(self, sim):
+        notary = NotaryService(sim, workers=4, service_time=1.0)
+        done_times = []
+        for index in range(4):
+            process = notary.notarise(f"tx{index}", [StateRef("g", index)])
+            process.add_callback(lambda e: done_times.append(sim.now))
+        sim.run()
+        assert done_times == [1.0, 1.0, 1.0, 1.0]
+
+    def test_queue_depth_visible(self, sim):
+        notary = NotaryService(sim, workers=1, service_time=1.0)
+        for index in range(5):
+            notary.notarise(f"tx{index}", [])
+        sim.run(until=0.5)
+        assert notary.queue_depth == 4
+
+    def test_racing_spends_one_winner(self, sim):
+        # Two transactions race for the same state through a parallel
+        # notary: exactly one must win.
+        notary = NotaryService(sim, workers=2, service_time=0.5)
+        ref = StateRef("genesis", 0)
+        first = notary.notarise("tx1", [ref])
+        second = notary.notarise("tx2", [ref])
+        sim.run()
+        outcomes = [first.value[0], second.value[0]]
+        assert sorted(outcomes) == [False, True]
+
+    def test_negative_service_time_rejected(self, sim):
+        with pytest.raises(ValueError):
+            NotaryService(sim, service_time=-0.1)

@@ -1,0 +1,79 @@
+"""Unit tests for canonical hashing."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.hashing import GENESIS_HASH, canonical_bytes, hash_bytes, hash_object
+
+# Values the canonical encoder supports, nested a couple of levels deep.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(),
+    st.floats(allow_nan=False),
+    st.text(),
+    st.binary(),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=12,
+)
+
+
+class TestCanonicalEncoding:
+    def test_dict_key_order_irrelevant(self):
+        assert hash_object({"a": 1, "b": 2}) == hash_object({"b": 2, "a": 1})
+
+    def test_type_tags_disambiguate(self):
+        # Same repr-ish content, different types, must differ.
+        assert hash_object("1") != hash_object(1)
+        assert hash_object([1, 2]) != hash_object([12])
+        assert hash_object(["ab"]) != hash_object(["a", "b"])
+        assert hash_object(True) != hash_object(1)
+        assert hash_object(b"x") != hash_object("x")
+
+    def test_none_encodes(self):
+        assert hash_object(None) == hash_object(None)
+        assert hash_object(None) != hash_object(0)
+
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError):
+            hash_object(object())
+
+    def test_object_with_canonical_tuple(self):
+        class Thing:
+            def canonical_tuple(self):
+                return ("thing", 1)
+
+        assert hash_object(Thing()) == hash_object(Thing())
+
+    def test_genesis_sentinel_shape(self):
+        assert len(GENESIS_HASH) == 64
+        assert set(GENESIS_HASH) == {"0"}
+
+    def test_hash_bytes_is_sha256(self):
+        assert hash_bytes(b"") == "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"
+
+
+class TestHashingProperties:
+    @given(values)
+    def test_deterministic(self, value):
+        assert hash_object(value) == hash_object(value)
+
+    @given(values)
+    def test_digest_is_hex64(self, value):
+        digest = hash_object(value)
+        assert len(digest) == 64
+        int(digest, 16)  # parses as hex
+
+    @given(st.lists(values, min_size=2, max_size=2).filter(lambda pair: pair[0] != pair[1]))
+    def test_distinct_values_distinct_encodings(self, pair):
+        # Canonical encodings must differ for non-equal values (hash
+        # collisions would need a SHA-256 break).
+        left, right = pair
+        assert canonical_bytes(left) != canonical_bytes(right)

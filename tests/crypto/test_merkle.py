@@ -1,0 +1,67 @@
+"""Unit and property tests for Merkle trees."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.crypto.merkle import MerkleTree
+
+
+class TestMerkleTree:
+    def test_empty_tree_has_root(self):
+        tree = MerkleTree([])
+        assert len(tree) == 0
+        assert len(tree.root) == 64
+
+    def test_single_leaf_root_is_leaf_hash(self):
+        tree = MerkleTree(["only"])
+        assert tree.root == tree.leaf_hashes[0]
+
+    def test_root_changes_with_content(self):
+        assert MerkleTree(["a", "b"]).root != MerkleTree(["a", "c"]).root
+
+    def test_root_changes_with_order(self):
+        assert MerkleTree(["a", "b"]).root != MerkleTree(["b", "a"]).root
+
+    def test_proof_out_of_range(self):
+        with pytest.raises(IndexError):
+            MerkleTree(["a"]).proof(1)
+
+    def test_proof_verifies(self):
+        leaves = [f"tx-{i}" for i in range(7)]
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            proof = tree.proof(index)
+            assert MerkleTree.verify_proof(leaf, proof, tree.root)
+
+    def test_wrong_leaf_fails_proof(self):
+        leaves = [f"tx-{i}" for i in range(5)]
+        tree = MerkleTree(leaves)
+        proof = tree.proof(2)
+        assert not MerkleTree.verify_proof("tampered", proof, tree.root)
+
+    def test_wrong_root_fails_proof(self):
+        leaves = [f"tx-{i}" for i in range(5)]
+        tree = MerkleTree(leaves)
+        proof = tree.proof(2)
+        assert not MerkleTree.verify_proof(leaves[2], proof, "f" * 64)
+
+
+class TestMerkleProperties:
+    @given(st.lists(st.text(), min_size=1, max_size=40))
+    def test_all_proofs_verify(self, leaves):
+        tree = MerkleTree(leaves)
+        for index, leaf in enumerate(leaves):
+            assert MerkleTree.verify_proof(leaf, tree.proof(index), tree.root)
+
+    @given(st.lists(st.integers(), min_size=1, max_size=25), st.integers(), st.data())
+    def test_foreign_leaf_rejected(self, leaves, foreign, data):
+        if foreign in leaves:
+            return
+        tree = MerkleTree(leaves)
+        index = data.draw(st.integers(min_value=0, max_value=len(leaves) - 1))
+        assert not MerkleTree.verify_proof(foreign, tree.proof(index), tree.root)
+
+    @given(st.lists(st.text(), min_size=1, max_size=20))
+    def test_rebuild_gives_same_root(self, leaves):
+        assert MerkleTree(leaves).root == MerkleTree(leaves).root

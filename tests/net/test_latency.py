@@ -1,0 +1,72 @@
+"""Unit tests for latency models."""
+
+import random
+import statistics
+
+import pytest
+
+from repro.net import ConstantLatency, LoopbackLatency, NetemLatency, UniformLatency
+from repro.net.latency import DATACENTER_LATENCY, EUROPEAN_WAN_LATENCY
+
+
+class TestConstantLatency:
+    def test_sample_is_fixed(self):
+        model = ConstantLatency(0.005)
+        rng = random.Random(1)
+        assert all(model.sample(rng) == 0.005 for __ in range(10))
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            ConstantLatency(-0.001)
+
+    def test_describe_mentions_value(self):
+        assert "5.000 ms" in ConstantLatency(0.005).describe()
+
+
+class TestUniformLatency:
+    def test_samples_within_bounds(self):
+        model = UniformLatency(0.001, 0.002)
+        rng = random.Random(2)
+        for __ in range(100):
+            assert 0.001 <= model.sample(rng) <= 0.002
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            UniformLatency(0.002, 0.001)
+        with pytest.raises(ValueError):
+            UniformLatency(-0.001, 0.002)
+
+
+class TestNetemLatency:
+    def test_matches_paper_parameters(self):
+        # Section 5.8.1: normal distribution, mu = 12 ms, jitter 2 ms.
+        assert EUROPEAN_WAN_LATENCY.mean == pytest.approx(0.012)
+        assert EUROPEAN_WAN_LATENCY.jitter == pytest.approx(0.002)
+
+    def test_sample_statistics(self):
+        model = NetemLatency(mean=0.012, jitter=0.002)
+        rng = random.Random(3)
+        samples = [model.sample(rng) for __ in range(5000)]
+        assert statistics.mean(samples) == pytest.approx(0.012, rel=0.05)
+        assert statistics.stdev(samples) == pytest.approx(0.002, rel=0.10)
+
+    def test_samples_never_negative(self):
+        model = NetemLatency(mean=0.0005, jitter=0.01)  # heavy left tail
+        rng = random.Random(4)
+        assert all(model.sample(rng) >= 0 for __ in range(1000))
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            NetemLatency(mean=-0.001)
+        with pytest.raises(ValueError):
+            NetemLatency(jitter=-0.001)
+
+
+class TestPresets:
+    def test_datacenter_is_submillisecond(self):
+        rng = random.Random(5)
+        assert DATACENTER_LATENCY.sample(rng) < 0.001
+
+    def test_loopback_is_faster_than_datacenter(self):
+        rng = random.Random(6)
+        assert LoopbackLatency().sample(rng) < DATACENTER_LATENCY.sample(rng)

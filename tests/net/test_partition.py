@@ -1,0 +1,86 @@
+"""Unit tests for partition and loss injection."""
+
+import random
+
+import pytest
+
+from repro.net import ConstantLatency, Host, Network, PartitionController
+from repro.sim import Simulator
+from tests.net.test_network import Recorder
+
+
+@pytest.fixture()
+def rig():
+    sim = Simulator(seed=1)
+    network = Network(sim, default_latency=ConstantLatency(0.001))
+    nodes = []
+    for index in range(3):
+        node = Recorder(f"n{index}", sim)
+        network.attach(node, Host(f"s{index}"))
+        nodes.append(node)
+    return sim, network, nodes
+
+
+class TestPartitionController:
+    def test_allows_by_default(self):
+        controller = PartitionController()
+        assert controller.allows("a", "b", random.Random(1))
+
+    def test_block_and_unblock_is_bidirectional(self):
+        controller = PartitionController()
+        rng = random.Random(1)
+        controller.block("a", "b")
+        assert not controller.allows("a", "b", rng)
+        assert not controller.allows("b", "a", rng)
+        controller.unblock("a", "b")
+        assert controller.allows("a", "b", rng)
+
+    def test_isolate(self):
+        controller = PartitionController()
+        rng = random.Random(1)
+        controller.isolate("a")
+        assert not controller.allows("a", "b", rng)
+        assert not controller.allows("c", "a", rng)
+        assert controller.allows("b", "c", rng)
+        controller.heal_endpoint("a")
+        assert controller.allows("a", "b", rng)
+
+    def test_group_partition_and_heal(self):
+        controller = PartitionController()
+        rng = random.Random(1)
+        controller.partition(["a", "b"], ["c"])
+        assert not controller.allows("a", "c", rng)
+        assert not controller.allows("c", "b", rng)
+        assert controller.allows("a", "b", rng)
+        controller.heal_all()
+        assert controller.allows("a", "c", rng)
+
+    def test_drop_probability(self):
+        controller = PartitionController()
+        controller.drop_probability = 0.5
+        rng = random.Random(42)
+        outcomes = [controller.allows("a", "b", rng) for __ in range(1000)]
+        dropped = outcomes.count(False)
+        assert 400 < dropped < 600
+
+
+class TestNetworkIntegration:
+    def test_blocked_messages_are_dropped(self, rig):
+        sim, network, nodes = rig
+        network.partitions.block("n0", "n1")
+        nodes[0].send("n1", "blocked")
+        nodes[0].send("n2", "open")
+        sim.run()
+        assert nodes[1].received == []
+        assert len(nodes[2].received) == 1
+        assert network.messages_dropped == 1
+
+    def test_heal_restores_delivery(self, rig):
+        sim, network, nodes = rig
+        network.partitions.isolate("n1")
+        nodes[0].send("n1", "lost")
+        sim.run()
+        network.partitions.heal_all()
+        nodes[0].send("n1", "delivered")
+        sim.run()
+        assert [kind for __, kind, __ in nodes[1].received] == ["delivered"]

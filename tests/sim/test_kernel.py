@@ -1,0 +1,107 @@
+"""Unit tests for the Simulator event loop."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.events import SimulationError
+
+
+class TestScheduling:
+    def test_time_starts_at_zero(self):
+        assert Simulator().now == 0.0
+
+    def test_callbacks_run_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.schedule(3.0, lambda: order.append("c"))
+        sim.schedule(1.0, lambda: order.append("a"))
+        sim.schedule(2.0, lambda: order.append("b"))
+        sim.run()
+        assert order == ["a", "b", "c"]
+        assert sim.now == 3.0
+
+    def test_same_time_is_fifo(self):
+        sim = Simulator()
+        order = []
+        for label in "abcde":
+            sim.schedule(1.0, lambda lab=label: order.append(lab))
+        sim.run()
+        assert order == list("abcde")
+
+    def test_cannot_schedule_into_past(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_run_until_stops_and_advances_clock(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(True))
+        stopped_at = sim.run(until=5.0)
+        assert stopped_at == 5.0
+        assert fired == []
+        sim.run()
+        assert fired == [True]
+        assert sim.now == 10.0
+
+    def test_run_until_advances_clock_even_when_queue_drains(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert sim.run(until=100.0) == 100.0
+
+    def test_nested_scheduling(self):
+        sim = Simulator()
+        times = []
+
+        def outer():
+            times.append(sim.now)
+            sim.schedule(2.0, inner)
+
+        def inner():
+            times.append(sim.now)
+
+        sim.schedule(1.0, outer)
+        sim.run()
+        assert times == [1.0, 3.0]
+
+
+class TestRunUntilComplete:
+    def test_returns_process_value(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.timeout(2.0)
+            return "finished"
+
+        process = sim.spawn(proc())
+        assert sim.run_until_complete(process) == "finished"
+        assert sim.now == 2.0
+
+    def test_deadlock_detected(self):
+        sim = Simulator()
+
+        def proc():
+            yield sim.event()  # never triggered
+
+        process = sim.spawn(proc())
+        with pytest.raises(SimulationError, match="deadlock"):
+            sim.run_until_complete(process)
+
+    def test_determinism_across_runs(self):
+        def build_trace(seed):
+            sim = Simulator(seed=seed)
+            rng = sim.rng.stream("jitter")
+            trace = []
+
+            def proc(name):
+                for __ in range(5):
+                    yield sim.timeout(rng.uniform(0.1, 1.0))
+                    trace.append((name, round(sim.now, 9)))
+
+            sim.spawn(proc("a"))
+            sim.spawn(proc("b"))
+            sim.run()
+            return trace
+
+        assert build_trace(42) == build_trace(42)
+        assert build_trace(42) != build_trace(43)

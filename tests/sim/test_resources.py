@@ -1,0 +1,88 @@
+"""Unit tests for counted resources."""
+
+import pytest
+
+from repro.sim import Resource, Simulator
+from repro.sim.events import SimulationError
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=1)
+
+
+class TestResource:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Resource(sim, capacity=0)
+
+    def test_acquire_within_capacity_is_immediate(self, sim):
+        pool = Resource(sim, capacity=2)
+        first = pool.acquire()
+        second = pool.acquire()
+        assert first.triggered and second.triggered
+        assert pool.in_use == 2
+        assert pool.available == 0
+
+    def test_acquire_beyond_capacity_waits_for_release(self, sim):
+        pool = Resource(sim, capacity=1)
+        times = []
+
+        def worker(name, hold):
+            yield pool.acquire()
+            times.append((name, "start", sim.now))
+            yield sim.timeout(hold)
+            pool.release()
+            times.append((name, "end", sim.now))
+
+        sim.spawn(worker("a", 3.0))
+        sim.spawn(worker("b", 2.0))
+        sim.run()
+        assert times == [
+            ("a", "start", 0.0),
+            ("a", "end", 3.0),
+            ("b", "start", 3.0),
+            ("b", "end", 5.0),
+        ]
+
+    def test_release_idle_resource_raises(self, sim):
+        pool = Resource(sim, capacity=1)
+        with pytest.raises(SimulationError):
+            pool.release()
+
+    def test_fifo_admission(self, sim):
+        pool = Resource(sim, capacity=1)
+        admitted = []
+
+        def worker(name):
+            yield pool.acquire()
+            admitted.append(name)
+            yield sim.timeout(1.0)
+            pool.release()
+
+        for name in ["w1", "w2", "w3"]:
+            sim.spawn(worker(name))
+        sim.run()
+        assert admitted == ["w1", "w2", "w3"]
+
+    def test_use_helper_releases_on_error(self, sim):
+        pool = Resource(sim, capacity=1)
+
+        def failing_body():
+            yield sim.timeout(1.0)
+            raise RuntimeError("body failed")
+
+        def worker():
+            yield from pool.use(failing_body())
+
+        process = sim.spawn(worker())
+        sim.run()
+        assert not process.ok
+        assert pool.in_use == 0  # slot was released despite the error
+
+    def test_queued_counter(self, sim):
+        pool = Resource(sim, capacity=1)
+        pool.acquire()
+        pool.acquire()
+        pool.acquire()
+        assert pool.queued == 2

@@ -1,0 +1,135 @@
+"""Unit tests for FIFO stores."""
+
+import pytest
+
+from repro.sim import Simulator, Store
+
+
+@pytest.fixture()
+def sim():
+    return Simulator(seed=1)
+
+
+class TestUnboundedStore:
+    def test_put_then_get_fifo(self, sim):
+        store = Store(sim)
+        got = []
+
+        def producer():
+            for item in ["a", "b", "c"]:
+                yield store.put(item)
+
+        def consumer():
+            for __ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+    def test_get_blocks_until_put(self, sim):
+        store = Store(sim)
+        arrival_times = []
+
+        def consumer():
+            item = yield store.get()
+            arrival_times.append((sim.now, item))
+
+        def producer():
+            yield sim.timeout(5.0)
+            yield store.put("late-item")
+
+        sim.spawn(consumer())
+        sim.spawn(producer())
+        sim.run()
+        assert arrival_times == [(5.0, "late-item")]
+
+    def test_waiting_getters_served_in_order(self, sim):
+        store = Store(sim)
+        got = []
+
+        def consumer(name):
+            item = yield store.get()
+            got.append((name, item))
+
+        sim.spawn(consumer("first"))
+        sim.spawn(consumer("second"))
+
+        def producer():
+            yield sim.timeout(1.0)
+            yield store.put(1)
+            yield store.put(2)
+
+        sim.spawn(producer())
+        sim.run()
+        assert got == [("first", 1), ("second", 2)]
+
+
+class TestBoundedStore:
+    def test_capacity_validation(self, sim):
+        with pytest.raises(ValueError):
+            Store(sim, capacity=0)
+
+    def test_try_put_respects_capacity(self, sim):
+        store = Store(sim, capacity=2)
+        assert store.try_put("a")
+        assert store.try_put("b")
+        assert not store.try_put("c")  # rejected, like Sawtooth's queue
+        assert len(store) == 2
+
+    def test_put_blocks_when_full(self, sim):
+        store = Store(sim, capacity=1)
+        events = []
+
+        def producer():
+            yield store.put("first")
+            events.append(("stored-first", sim.now))
+            yield store.put("second")
+            events.append(("stored-second", sim.now))
+
+        def consumer():
+            yield sim.timeout(10.0)
+            item = yield store.get()
+            events.append(("got", item, sim.now))
+
+        sim.spawn(producer())
+        sim.spawn(consumer())
+        sim.run()
+        assert events == [
+            ("stored-first", 0.0),
+            ("stored-second", 10.0),
+            ("got", "first", 10.0),
+        ]
+
+    def test_try_get(self, sim):
+        store = Store(sim)
+        assert store.try_get() == (False, None)
+        store.try_put("x")
+        assert store.try_get() == (True, "x")
+
+    def test_drain_with_limit(self, sim):
+        store = Store(sim)
+        for i in range(5):
+            store.try_put(i)
+        assert store.drain(limit=3) == [0, 1, 2]
+        assert store.drain() == [3, 4]
+        assert store.drain() == []
+
+    def test_drain_admits_blocked_putters(self, sim):
+        store = Store(sim, capacity=2)
+        stored = []
+
+        def producer():
+            for i in range(4):
+                yield store.put(i)
+                stored.append(i)
+
+        sim.spawn(producer())
+        sim.run()
+        assert stored == [0, 1]
+        assert store.drain(limit=2) == [0, 1]
+        sim.run()
+        assert stored == [0, 1, 2, 3]
+        assert store.peek_all() == [2, 3]

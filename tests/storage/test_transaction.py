@@ -1,0 +1,73 @@
+"""Unit tests for payloads, transactions and batches."""
+
+import pytest
+
+from repro.storage import Batch, Payload, Transaction
+
+
+def make_payload(function="Set", **args):
+    return Payload.create("client-1", "KeyValue", function, args)
+
+
+class TestPayload:
+    def test_ids_are_unique(self):
+        a = make_payload(key="k1")
+        b = make_payload(key="k2")
+        assert a.payload_id != b.payload_id
+
+    def test_arg_lookup(self):
+        payload = make_payload(key="k1", value="v1")
+        assert payload.arg("key") == "k1"
+        assert payload.arg("value") == "v1"
+        assert payload.arg("missing") is None
+        assert payload.arg("missing", "default") == "default"
+
+    def test_hashable_via_canonical_tuple(self):
+        from repro.crypto.hashing import hash_object
+
+        payload = make_payload(key="k1")
+        assert hash_object(payload) == hash_object(payload)
+
+
+class TestTransaction:
+    def test_wrap_single_payload(self):
+        tx = Transaction.wrap([make_payload()], submitter="client-1")
+        assert len(tx.payloads) == 1
+        assert tx.submitter == "client-1"
+
+    def test_wrap_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Transaction.wrap([], submitter="client-1")
+
+    def test_multi_operation_transaction(self):
+        # BitShares: up to 100 operations per atomic transaction.
+        payloads = [make_payload(key=f"k{i}") for i in range(100)]
+        tx = Transaction.wrap(payloads, submitter="client-1", kind="bitshares")
+        assert len(tx.payloads) == 100
+
+    def test_size_grows_with_payloads(self):
+        small = Transaction.wrap([make_payload()], "c")
+        large = Transaction.wrap([make_payload() for __ in range(10)], "c")
+        assert large.size_bytes > small.size_bytes
+
+    def test_tx_ids_unique(self):
+        a = Transaction.wrap([make_payload()], "c")
+        b = Transaction.wrap([make_payload()], "c")
+        assert a.tx_id != b.tx_id
+
+
+class TestBatch:
+    def test_wrap_and_payload_count(self):
+        txs = [Transaction.wrap([make_payload(), make_payload()], "c") for __ in range(3)]
+        batch = Batch.wrap(txs, submitter="c")
+        assert len(batch.transactions) == 3
+        assert batch.payload_count == 6
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ValueError):
+            Batch.wrap([], submitter="c")
+
+    def test_batch_size_includes_members(self):
+        txs = [Transaction.wrap([make_payload()], "c") for __ in range(5)]
+        batch = Batch.wrap(txs, "c")
+        assert batch.size_bytes > sum(tx.size_bytes for tx in txs)

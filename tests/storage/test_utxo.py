@@ -1,0 +1,97 @@
+"""Unit and property tests for the UTXO store."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.storage import DoubleSpendError, StateRef, UTXOState, UTXOStore
+
+
+def make_state(tx_id, index=0, **data):
+    return UTXOState.create(tx_id, index, contract="KeyValue", data=data, participants=["a"])
+
+
+class TestUTXOStore:
+    def test_add_and_get(self):
+        store = UTXOStore("vault")
+        state = make_state("tx1", key="k")
+        store.add(state)
+        assert len(store) == 1
+        assert store.get(state.ref) is state
+        assert state.ref in store
+
+    def test_duplicate_ref_rejected(self):
+        store = UTXOStore()
+        store.add(make_state("tx1"))
+        with pytest.raises(ValueError):
+            store.add(make_state("tx1"))
+
+    def test_consume_and_create(self):
+        store = UTXOStore()
+        old = make_state("tx1", key="k", value="v1")
+        store.add(old)
+        new = make_state("tx2", key="k", value="v2")
+        store.consume_and_create([old.ref], [new])
+        assert old.ref not in store
+        assert store.is_consumed(old.ref)
+        assert new.ref in store
+
+    def test_double_spend_rejected(self):
+        store = UTXOStore()
+        state = make_state("tx1")
+        store.add(state)
+        store.consume_and_create([state.ref], [make_state("tx2")])
+        with pytest.raises(DoubleSpendError):
+            store.consume_and_create([state.ref], [make_state("tx3")])
+
+    def test_unknown_input_rejected(self):
+        store = UTXOStore()
+        with pytest.raises(DoubleSpendError):
+            store.consume_and_create([StateRef("ghost", 0)], [])
+
+    def test_failed_consume_mutates_nothing(self):
+        store = UTXOStore()
+        good = make_state("tx1")
+        store.add(good)
+        bad_ref = StateRef("ghost", 0)
+        with pytest.raises(DoubleSpendError):
+            store.consume_and_create([good.ref, bad_ref], [make_state("tx2")])
+        # Atomicity: the good input must still be unconsumed.
+        assert good.ref in store
+        assert not store.is_consumed(good.ref)
+        assert len(store) == 1
+
+    def test_scan(self):
+        store = UTXOStore()
+        for i in range(10):
+            store.add(make_state(f"tx{i}", key=f"k{i}"))
+        hits = store.scan(lambda state: state.field("key") == "k7")
+        assert len(hits) == 1
+        assert hits[0].field("key") == "k7"
+
+    def test_field_default(self):
+        state = make_state("tx1", key="k")
+        assert state.field("absent") is None
+        assert state.field("absent", 0) == 0
+
+
+class TestUTXOProperties:
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(min_value=0, max_value=19), min_size=1, max_size=40))
+    def test_each_state_spendable_at_most_once(self, spend_order):
+        # 20 initial states; replay an arbitrary spend sequence. Every
+        # state must be consumable exactly once, no matter the order.
+        store = UTXOStore()
+        states = [make_state(f"tx{i}") for i in range(20)]
+        for state in states:
+            store.add(state)
+        spent = set()
+        for counter, index in enumerate(spend_order):
+            ref = states[index].ref
+            if index in spent:
+                with pytest.raises(DoubleSpendError):
+                    store.consume_and_create([ref], [])
+            else:
+                store.consume_and_create([ref], [make_state(f"new{counter}")])
+                spent.add(index)
+        assert len(store) == 20 - len(spent) + len(spent)  # one output per spend
