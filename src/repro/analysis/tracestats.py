@@ -1,0 +1,116 @@
+"""Summary statistics over a trace: where does simulated time go?
+
+Aggregates span records into per-``(category, name)`` rows with count,
+total duration and *self time* — the span's duration minus the time
+covered by spans nested inside it on the same node — so a fat parent
+("block.finality") does not drown out the child actually burning the
+time ("raft.replicate"). Works on live :class:`~repro.trace.Tracer`
+objects and on dicts loaded from a JSONL trace.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.trace.tracer import SpanRecord, Tracer
+
+
+@dataclasses.dataclass
+class SpanStat:
+    """Aggregate for one (category, name) span family."""
+
+    category: str
+    name: str
+    count: int = 0
+    total: float = 0.0
+    self_total: float = 0.0
+    max_duration: float = 0.0
+
+    @property
+    def mean(self) -> float:
+        """Mean span duration in simulated seconds."""
+        return self.total / self.count if self.count else 0.0
+
+
+def _self_times(spans: typing.Sequence[SpanRecord]) -> typing.List[float]:
+    """Per-span self time: duration minus nested same-node span time.
+
+    Spans are grouped per node and treated as a properly nested forest
+    (sorted by start ascending, end descending); overlapping-but-not-
+    nested spans are treated as siblings.
+    """
+    order = sorted(range(len(spans)), key=lambda i: (spans[i].node, spans[i].start, -spans[i].end))
+    self_time = [0.0] * len(spans)
+    stack: typing.List[int] = []  # indices of currently open ancestors
+    current_node: typing.Optional[str] = None
+    for index in order:
+        span = spans[index]
+        if span.node != current_node:
+            stack = []
+            current_node = span.node
+        while stack and spans[stack[-1]].end <= span.start:
+            stack.pop()
+        self_time[index] = span.duration
+        if stack and span.end <= spans[stack[-1]].end:
+            # Nested in the innermost open ancestor: charge the child.
+            self_time[stack[-1]] -= span.duration
+        if not stack or span.end <= spans[stack[-1]].end:
+            stack.append(index)
+        # A partial overlap (concurrent, not nested) stays off the stack:
+        # its time is not double-charged to an unrelated ancestor.
+    return self_time
+
+
+def _as_records(
+    spans: typing.Iterable[typing.Union[SpanRecord, dict]]
+) -> typing.List[SpanRecord]:
+    records = []
+    for span in spans:
+        if isinstance(span, SpanRecord):
+            records.append(span)
+        elif span.get("type", "span") == "span":
+            records.append(SpanRecord(
+                name=span["name"], category=span.get("cat", ""),
+                node=span.get("node", ""), start=span["start"], end=span["end"],
+                attrs=span.get("attrs", {}),
+            ))
+    return records
+
+
+def span_stats(
+    source: typing.Union[Tracer, typing.Iterable[typing.Union[SpanRecord, dict]]]
+) -> typing.List[SpanStat]:
+    """Aggregate spans by (category, name), sorted by self time descending."""
+    spans = _as_records(source.spans if isinstance(source, Tracer) else source)
+    self_times = _self_times(spans)
+    stats: typing.Dict[typing.Tuple[str, str], SpanStat] = {}
+    for span, self_time in zip(spans, self_times):
+        key = (span.category, span.name)
+        stat = stats.get(key)
+        if stat is None:
+            stat = stats[key] = SpanStat(category=span.category, name=span.name)
+        stat.count += 1
+        stat.total += span.duration
+        stat.self_total += self_time
+        if span.duration > stat.max_duration:
+            stat.max_duration = span.duration
+    return sorted(stats.values(), key=lambda s: s.self_total, reverse=True)
+
+
+def render_span_stats(
+    source: typing.Union[Tracer, typing.Iterable[typing.Union[SpanRecord, dict]]],
+    top: int = 10,
+) -> str:
+    """A top-N table of span families by self time."""
+    stats = span_stats(source)[:top]
+    if not stats:
+        return "trace: no spans recorded"
+    header = f"{'category':<10} {'span':<28} {'count':>8} {'self (s)':>10} {'total (s)':>10} {'mean (s)':>10}"
+    lines = [header, "-" * len(header)]
+    for stat in stats:
+        lines.append(
+            f"{stat.category:<10} {stat.name:<28} {stat.count:>8} "
+            f"{stat.self_total:>10.3f} {stat.total:>10.3f} {stat.mean:>10.4f}"
+        )
+    return "\n".join(lines)

@@ -227,7 +227,19 @@ class BaseNode(Endpoint):
                     outcome[payload.payload_id] = (TxStatus.COMMITTED, "")
                 else:
                     outcome[payload.payload_id] = (TxStatus.DISCARDED, result.error)
+        self._trace_execution(len(outcome))
         return outcome
+
+    def _trace_execution(self, payload_count: int) -> None:
+        """Account one IEL application batch on this node."""
+        tracer = self.sim.tracer
+        if tracer.enabled and tracer.wants("iel") and payload_count:
+            tracer.event(
+                "iel.apply", category="iel", node=self.endpoint_id,
+                payloads=payload_count, iel=self.system.iel_name,
+            )
+            tracer.metrics.counter("iel.payloads", system=self.system.name,
+                                   node=self.endpoint_id).inc(payload_count)
 
     def try_apply_batch(
         self, transactions: typing.Iterable[Transaction]
@@ -261,6 +273,7 @@ class BaseNode(Endpoint):
             return False, outcome
         self.state.apply(adapter.rwset)
         self.executed_payloads += len(outcome)
+        self._trace_execution(len(outcome))
         return True, outcome
 
     def seal_and_append(self, proposal: BlockProposal, proposer: str) -> Block:
@@ -278,6 +291,18 @@ class BaseNode(Endpoint):
             timestamp=proposal.created_at,
         )
         self.chain.append(block)
+        tracer = self.sim.tracer
+        if tracer.enabled and tracer.wants("storage"):
+            tracer.event(
+                "block.append", category="storage", node=self.endpoint_id,
+                height=block.height, txs=len(proposal.transactions),
+                payloads=proposal.payload_count, bytes=proposal.size_bytes,
+            )
+            tracer.metrics.counter("storage.blocks", system=self.system.name,
+                                   node=self.endpoint_id).inc()
+            tracer.metrics.histogram(
+                "storage.block_payloads", system=self.system.name, base=1.0,
+            ).record(proposal.payload_count)
         return block
 
     # ------------------------------------------------------------------
@@ -306,6 +331,17 @@ class BaseNode(Endpoint):
         capacity = self.profile.event_queue_capacity
         if capacity is not None and self._event_backlog_payloads + len(receipts) > capacity:
             self.dropped_notifications += len(receipts)
+            tracer = self.sim.tracer
+            if tracer.enabled and tracer.wants("chain"):
+                tracer.event(
+                    "notify.drop", category="chain", node=self.endpoint_id,
+                    client=client_id, count=len(receipts),
+                    backlog=self._event_backlog_payloads,
+                )
+                tracer.metrics.counter(
+                    "chain.dropped_notifications",
+                    system=self.system.name, node=self.endpoint_id,
+                ).inc(len(receipts))
             return
         self._event_backlog_payloads += len(receipts)
         self._event_queue.try_put((client_id, list(receipts)))
@@ -432,6 +468,13 @@ class SystemModel(abc.ABC):
         """Record the payload outcomes that finality of ``key`` will report."""
         self._pending_final[key] = outcome
         self._pending_height[key] = block_height
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # First local commit -> persisted on all nodes (Figure 2, T3).
+            tracer.begin(
+                ("finality", self.name, key), "block.finality", category="chain",
+                key=key, payloads=len(outcome), height=block_height,
+            )
 
     def record_commit(self, key: str, node_id: str) -> None:
         """A node persisted ``key``; fires finality when it is the last."""
@@ -440,6 +483,9 @@ class SystemModel(abc.ABC):
     def _on_final(self, key: str, commit_time: float) -> None:
         outcome = self._pending_final.pop(key, None)
         height = self._pending_height.pop(key, None)
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            tracer.end(("finality", self.name, key), at=commit_time)
         if not outcome:
             return
         by_client: typing.Dict[str, typing.List[Receipt]] = {}

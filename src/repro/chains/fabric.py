@@ -425,6 +425,9 @@ class FabricSystem(SystemModel):
         if self._event_service_broken:
             outcome = self._pending_final.pop(key, None)
             self._pending_height.pop(key, None)
+            tracer = self.sim.tracer
+            if tracer.enabled:
+                tracer.end(("finality", self.name, key), at=commit_time, notified=False)
             if outcome:
                 gateway_ids = set(self.subscriptions.values())
                 for gateway_id in gateway_ids:

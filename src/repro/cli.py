@@ -10,6 +10,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import typing
 
@@ -58,8 +59,26 @@ def _cmd_run(args: argparse.Namespace) -> int:
         scale=args.scale,
         seed=args.seed,
     )
+    tracer = None
+    if args.trace:
+        from repro.trace import TraceConfig, Tracer
+
+        try:
+            trace_config = TraceConfig.from_spec(
+                categories=args.trace_categories,
+                sample_rate=args.trace_sample,
+            )
+        except ValueError as error:
+            raise SystemExit(f"coconut run: error: {error}")
+        # Fail on an unwritable destination now, not after the run.
+        trace_dir = os.path.dirname(os.path.abspath(args.trace))
+        if not os.path.isdir(trace_dir):
+            raise SystemExit(
+                f"coconut run: error: trace directory does not exist: {trace_dir}")
+        tracer = Tracer(trace_config)
     store = ResultStore(args.output) if args.output else None
-    runner = BenchmarkRunner(store=store, progress=print if args.verbose else None)
+    runner = BenchmarkRunner(store=store, progress=print if args.verbose else None,
+                             tracer=tracer)
     result = runner.run(config)
     print(unit_summary(result))
     if args.blockstats and runner.last_rig is not None:
@@ -67,7 +86,28 @@ def _cmd_run(args: argparse.Namespace) -> int:
 
         node = runner.last_rig.system.nodes[runner.last_rig.system.node_ids[0]]
         print(f"block stats: {collect_block_stats(node.chain).describe()}")
+    if tracer is not None:
+        _export_trace(tracer, args)
     return 0
+
+
+def _export_trace(tracer, args: argparse.Namespace) -> None:
+    """Write the collected trace and print a one-screen summary."""
+    from repro.analysis.tracestats import render_span_stats
+    from repro.trace import write_chrome_trace, write_jsonl
+
+    # Spans still open (e.g. transactions that never confirmed) are
+    # closed at the end of the run and flagged, so they stay visible.
+    incomplete = tracer.drain_open(incomplete=True)
+    if args.trace_format == "jsonl":
+        write_jsonl(tracer, args.trace)
+    else:
+        write_chrome_trace(tracer, args.trace)
+    print(
+        f"trace: {len(tracer.spans)} spans ({incomplete} incomplete), "
+        f"{len(tracer.events)} events -> {args.trace} [{args.trace_format}]"
+    )
+    print(render_span_stats(tracer, top=8))
 
 
 def _cmd_experiment(args: argparse.Namespace) -> int:
@@ -88,7 +128,8 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = build_sweep(args.sweep_id)
-    runner = BenchmarkRunner(progress=print if args.verbose else None)
+    runner = BenchmarkRunner(progress=print if args.verbose else None,
+                             keep_last_rig=False)
     run = sweep.run(runner=runner, scale=args.scale)
     print(run.render())
     return 0
@@ -126,6 +167,18 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--output", help="directory to persist results into")
     run_parser.add_argument("--blockstats", action="store_true",
                             help="print block statistics after the run")
+    run_parser.add_argument("--trace", metavar="PATH",
+                            help="record an execution trace to PATH")
+    run_parser.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                            default="chrome",
+                            help="chrome = Perfetto/chrome://tracing JSON, "
+                                 "jsonl = flat event log (default: chrome)")
+    run_parser.add_argument("--trace-categories",
+                            help="comma-separated trace categories to keep "
+                                 "(e.g. net,consensus,client); default: all")
+    run_parser.add_argument("--trace-sample", type=float, default=1.0,
+                            help="deterministic sampling rate for per-transaction "
+                                 "spans (default: 1.0)")
     run_parser.add_argument("--verbose", action="store_true")
     run_parser.set_defaults(handler=_cmd_run)
 

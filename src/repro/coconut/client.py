@@ -120,6 +120,8 @@ class CoconutClient(Endpoint):
             ]
             now = self.sim.now
             phase_records = self.records[phase]
+            tracer = self.sim.tracer
+            trace_txs = tracer.enabled and tracer.wants("client")
             for payload in payloads:
                 phase_records[payload.payload_id] = PayloadRecord(
                     payload_id=payload.payload_id,
@@ -127,6 +129,15 @@ class CoconutClient(Endpoint):
                     start_time=now,
                 )
                 self._payload_phase[payload.payload_id] = phase
+                if trace_txs and tracer.sampled(payload.payload_id):
+                    # Submit -> confirm, closed in _record_end; payloads
+                    # that never confirm stay open (drained at export).
+                    tracer.begin(
+                        ("tx", payload.payload_id), "tx", category="client",
+                        node=self.endpoint_id, phase=phase,
+                    )
+            if trace_txs:
+                tracer.metrics.counter("client.sent", node=self.endpoint_id).inc(len(payloads))
             bundle = self.driver.wrap(payloads)
             self.send(
                 self.gateway_id,
@@ -152,14 +163,24 @@ class CoconutClient(Endpoint):
         phase = self._payload_phase.get(payload_id)
         if phase is None:
             return
+        tracer = self.sim.tracer
         if self.sim.now > self._listen_deadline.get(phase, float("inf")):
             self.ignored_late_receipts += 1
+            if tracer.enabled:
+                tracer.end(("tx", payload_id), status="late")
             return
         record = self.records[phase][payload_id]
         if record.end_time is not None:
             return
         record.end_time = self.sim.now
         record.status = status
+        if tracer.enabled:
+            tracer.end(("tx", payload_id), status=status)
+            if tracer.wants("client"):
+                tracer.metrics.counter(f"client.{status}", node=self.endpoint_id).inc()
+                tracer.metrics.histogram("client.fls", node=self.endpoint_id).record(
+                    record.latency
+                )
 
     # ------------------------------------------------------------------
     # Phase accounting

@@ -16,6 +16,9 @@ from repro.coconut.metrics import PhaseMetrics
 from repro.coconut.provisioner import Provisioner, Rig
 from repro.coconut.results import PhaseResult, ResultStore, UnitResult
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trace.tracer import Tracer
+
 
 class BenchmarkRunner:
     """Executes benchmark units and aggregates their results."""
@@ -25,12 +28,20 @@ class BenchmarkRunner:
         store: typing.Optional[ResultStore] = None,
         provisioner: typing.Optional[Provisioner] = None,
         progress: typing.Optional[typing.Callable[[str], None]] = None,
+        tracer: typing.Optional["Tracer"] = None,
+        keep_last_rig: bool = True,
     ) -> None:
         self.store = store
         self.provisioner = provisioner or Provisioner()
         self.progress = progress or (lambda message: None)
-        #: The most recent repetition's rig, kept for post-run
-        #: inspection (block statistics, chain validation).
+        #: Installed on every repetition's simulator when set, so one
+        #: tracer collects the whole unit (phases carry repetition attrs).
+        self.tracer = tracer
+        #: Whether to pin the most recent repetition's rig for post-run
+        #: inspection (block statistics, chain validation). Sweep drivers
+        #: disable this: retaining a full simulated deployment per unit
+        #: bloats memory across large parameter sweeps.
+        self.keep_last_rig = keep_last_rig
         self.last_rig: typing.Optional[Rig] = None
 
     def run(self, config: BenchmarkConfig) -> UnitResult:
@@ -40,8 +51,11 @@ class BenchmarkRunner:
         for repetition in range(config.repetitions):
             self.progress(f"{config.label()} repetition {repetition + 1}/{config.repetitions}")
             rig = self.provisioner.provision(config, repetition)
+            if self.tracer is not None:
+                rig.sim.set_tracer(self.tracer)
             metrics = self._run_repetition(rig, config, repetition)
-            self.last_rig = rig
+            if self.keep_last_rig:
+                self.last_rig = rig
             for phase, phase_metrics in metrics.items():
                 per_phase[phase].append(phase_metrics)
         result = UnitResult(
@@ -66,13 +80,21 @@ class BenchmarkRunner:
         """One repetition: run every phase of the unit sequentially."""
         clock = rig.system.stabilization_time
         metrics: typing.Dict[str, PhaseMetrics] = {}
+        tracer = rig.sim.tracer
         for phase in config.phase_sequence:
             # All clients wait for each other and start together
             # (Section 4.3: uniform load distribution).
+            phase_start = clock
             for client in rig.clients:
                 client.run_phase(phase, clock)
             clock += config.scaled_total
             rig.sim.run(until=clock)
+            if tracer.enabled:
+                tracer.record_span(
+                    "phase", category="bench", start=phase_start, end=clock,
+                    phase=phase, repetition=repetition, system=config.system,
+                    iel=config.iel,
+                )
             metrics[phase] = PhaseMetrics.from_clients(rig.clients, phase, repetition)
             self.progress(
                 f"  {phase}: {metrics[phase].received}/{metrics[phase].expected} received, "

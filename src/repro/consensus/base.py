@@ -66,6 +66,11 @@ class EngineContext:
         """Current simulated time."""
         return self.sim.now
 
+    @property
+    def tracer(self):
+        """The hosting simulator's tracer (NOOP unless one is installed)."""
+        return self.sim.tracer
+
     def index_of(self, replica_id: str) -> int:
         """Stable index of a replica in the group."""
         return self.peers.index(replica_id)
@@ -135,4 +140,12 @@ class ReplicaEngine:
 
     def _record_decision(self, decision: Decision) -> None:
         self.decided_count += 1
+        tracer = self.context.tracer
+        if tracer.enabled and tracer.wants("consensus"):
+            tracer.event(
+                "decision", category="consensus", node=self.replica_id,
+                engine=type(self).__name__, seq=decision.sequence,
+                proposer=decision.proposer,
+            )
+            tracer.metrics.counter("consensus.decisions", node=self.replica_id).inc()
         self.context.decide(decision)

@@ -82,9 +82,19 @@ class DiemBftEngine(ReplicaEngine):
 
     def start(self) -> None:
         """Kick off round 0."""
+        self._trace_round_begin(0)
         self._arm_round_timer()
         if self.is_leader:
             self._schedule_proposal()
+
+    def _trace_round_begin(self, round_number: int) -> None:
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.begin(
+                ("diem.round", self.replica_id, round_number),
+                "diem.round", category="consensus", node=self.replica_id,
+                round=round_number, leader=self.leader_for(round_number),
+            )
 
     def stop(self) -> None:
         """Crash this validator."""
@@ -291,7 +301,13 @@ class DiemBftEngine(ReplicaEngine):
     def _enter_round(self, round_number: int) -> None:
         if round_number <= self.current_round:
             return
+        tracer = self.context.tracer
+        if tracer.enabled:
+            # One span per round this replica occupied; a round that was
+            # never entered here (skipped during sync) has no span.
+            tracer.end(("diem.round", self.replica_id, self.current_round))
         self.current_round = round_number
+        self._trace_round_begin(round_number)
         self._arm_round_timer()
         if self.is_leader:
             self._schedule_proposal()
@@ -305,6 +321,12 @@ class DiemBftEngine(ReplicaEngine):
         if self._stopped or generation != self._round_generation:
             return
         round_number = self.current_round
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.event(
+                "diem.round_timeout", category="consensus",
+                node=self.replica_id, round=round_number,
+            )
         self._timeout_votes.setdefault(round_number, set()).add(self.replica_id)
         self.context.broadcast("diem/timeout", {"round": round_number})
         self._check_timeout_quorum(round_number)

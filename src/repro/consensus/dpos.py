@@ -94,6 +94,15 @@ class DposEngine(ReplicaEngine):
         if self.witness_for_slot(slot) != self.replica_id:
             return
         proposal = self.proposal_factory(slot) if self.proposal_factory else None
+        tracer = self.context.tracer
+        if tracer.enabled:
+            # The slot interval is fixed by the schedule, so the span's
+            # bounds are both known at production time.
+            tracer.record_span(
+                "dpos.slot", category="consensus", node=self.replica_id,
+                start=self.context.now, end=self.slot_time(slot + 1),
+                slot=slot, height=self.height, produced=proposal is not None,
+            )
         if proposal is None:
             self.missed_slots += 1
             return

@@ -112,6 +112,14 @@ class IbftEngine(ReplicaEngine):
         self.proposal = proposal
         self.digest = proposal_digest(proposal)
         self.proposer = proposer
+        tracer = self.context.tracer
+        if tracer.enabled:
+            # Pre-prepare -> commit (or round change) for this height/round.
+            tracer.begin(
+                ("ibft", self.replica_id, self.height, self.round),
+                "ibft.round", category="consensus", node=self.replica_id,
+                height=self.height, round=self.round, proposer=proposer,
+            )
 
     # ------------------------------------------------------------------
     # Message handling
@@ -180,6 +188,9 @@ class IbftEngine(ReplicaEngine):
             return
         if len(self._commits) < quorum_size(self.context.n, "bft"):
             return
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.end(("ibft", self.replica_id, self.height, self.round), decided=True)
         decision = Decision(
             sequence=self.height,
             proposal=self.proposal,
@@ -244,6 +255,13 @@ class IbftEngine(ReplicaEngine):
         votes = self._round_change_votes.get((height, new_round), set())
         if len(votes) < quorum_size(self.context.n, "bft"):
             return
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.end(("ibft", self.replica_id, self.height, self.round), decided=False)
+            tracer.event(
+                "ibft.round_change", category="consensus", node=self.replica_id,
+                height=height, round=new_round,
+            )
         self.round = new_round
         self._reset_round_state()
         self._arm_round_timer()

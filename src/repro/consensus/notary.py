@@ -57,6 +57,16 @@ class NotaryService:
         return self.sim.spawn(self._notarise(tx_id, list(inputs)), name=f"notarise:{tx_id}")
 
     def _notarise(self, tx_id: str, inputs: typing.List[StateRef]) -> typing.Generator:
+        tracer = self.sim.tracer
+        if tracer.enabled:
+            # Queueing + signing: this span is where Corda's bottleneck
+            # (one serial worker on Corda OS) becomes visible.
+            tracer.begin(
+                ("notary", self.name, tx_id), "notary.request",
+                category="consensus", node=self.name,
+                tx=tx_id, queued=self.pool.queued,
+            )
+            tracer.metrics.gauge("notary.queue_depth", node=self.name).set(self.pool.queued)
         yield self.pool.acquire()
         try:
             if self.service_time > 0:
@@ -64,9 +74,13 @@ class NotaryService:
             conflicting = [ref for ref in inputs if ref in self._spent]
             if conflicting:
                 self.rejected += 1
+                if tracer.enabled:
+                    tracer.end(("notary", self.name, tx_id), ok=False)
                 return False, conflicting
             self._spent.update(inputs)
             self.accepted += 1
+            if tracer.enabled:
+                tracer.end(("notary", self.name, tx_id), ok=True)
             return True, []
         finally:
             self.pool.release()

@@ -130,6 +130,7 @@ class PbftEngine(ReplicaEngine):
         slot.proposer = self.replica_id
         slot.digest = digest
         size = getattr(proposal, "size_bytes", 512)
+        self._trace_phase_begin("prepare", sequence)
         self.context.broadcast(
             "pbft/pre_prepare",
             {"view": self.view, "seq": sequence, "proposal": proposal, "digest": digest},
@@ -163,6 +164,24 @@ class PbftEngine(ReplicaEngine):
             self._slots[sequence] = _Slot()
         return self._slots[sequence]
 
+    # ------------------------------------------------------------------
+    # Tracing: one span per protocol phase per slot on this replica
+    # (pre-prepare -> prepared, prepared -> committed).
+
+    def _trace_phase_begin(self, phase: str, sequence: int) -> None:
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.begin(
+                ("pbft", phase, self.replica_id, sequence),
+                f"pbft.{phase}", category="consensus", node=self.replica_id,
+                seq=sequence, view=self.view,
+            )
+
+    def _trace_phase_end(self, phase: str, sequence: int) -> None:
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.end(("pbft", phase, self.replica_id, sequence))
+
     def _on_pre_prepare(self, sender: str, message: dict) -> None:
         if message["view"] != self.view or sender != self.primary_id:
             return
@@ -173,6 +192,7 @@ class PbftEngine(ReplicaEngine):
         slot.proposal = message["proposal"]
         slot.proposer = sender
         slot.digest = message["digest"]
+        self._trace_phase_begin("prepare", sequence)
         slot.prepares.add(self.replica_id)
         slot.prepares.add(sender)  # pre-prepare doubles as the primary's prepare
         if not slot.sent_prepare:
@@ -200,6 +220,8 @@ class PbftEngine(ReplicaEngine):
         if len(slot.prepares) >= quorum_size(self.context.n, "bft"):
             slot.sent_commit = True
             slot.commits.add(self.replica_id)
+            self._trace_phase_end("prepare", sequence)
+            self._trace_phase_begin("commit", sequence)
             self.context.broadcast(
                 "pbft/commit",
                 {"view": self.view, "seq": sequence, "digest": slot.digest},
@@ -219,6 +241,7 @@ class PbftEngine(ReplicaEngine):
             return
         if len(slot.commits) >= quorum_size(self.context.n, "bft"):
             slot.committed = True
+            self._trace_phase_end("commit", sequence)
             self._execute_in_order()
 
     def _execute_in_order(self) -> None:
@@ -308,6 +331,12 @@ class PbftEngine(ReplicaEngine):
             return
         self.view = new_view
         self.next_sequence = self.executed_through + 1
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.event(
+                "pbft.view_change", category="consensus", node=self.replica_id,
+                view=new_view,
+            )
         # Undecided slots above the watermark are abandoned; the node
         # layer still holds their transactions and will re-propose.
         for sequence in list(self._slots):

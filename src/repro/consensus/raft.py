@@ -94,6 +94,14 @@ class RaftEngine(ReplicaEngine):
         if not self.is_leader:
             return
         self.log.append(LogEntry(self.current_term, proposal, self.replica_id))
+        tracer = self.context.tracer
+        if tracer.enabled:
+            # Append -> majority-commit span, closed in _commit_through.
+            tracer.begin(
+                ("raft", self.replica_id, len(self.log) - 1),
+                "raft.replicate", category="consensus", node=self.replica_id,
+                index=len(self.log) - 1, term=self.current_term,
+            )
         # The leader counts itself toward the replication majority.
         self._match_index[self.replica_id] = len(self.log) - 1
         self._replicate_all()
@@ -114,6 +122,12 @@ class RaftEngine(ReplicaEngine):
         self._start_election()
 
     def _start_election(self) -> None:
+        tracer = self.context.tracer
+        if tracer.enabled:
+            tracer.event(
+                "raft.election_started", category="consensus",
+                node=self.replica_id, term=self.current_term + 1,
+            )
         self.role = CANDIDATE
         self.current_term += 1
         self.voted_for = self.replica_id
@@ -185,6 +199,12 @@ class RaftEngine(ReplicaEngine):
         if len(self._votes) >= quorum_size(self.context.n, "crash"):
             self.role = LEADER
             self.leader_id = self.replica_id
+            tracer = self.context.tracer
+            if tracer.enabled:
+                tracer.event(
+                    "raft.leader_elected", category="consensus",
+                    node=self.replica_id, term=self.current_term,
+                )
             next_index = len(self.log)
             self._next_index = {peer: next_index for peer in self.context.peers}
             self._match_index = {peer: -1 for peer in self.context.peers}
@@ -285,9 +305,14 @@ class RaftEngine(ReplicaEngine):
                 break
 
     def _commit_through(self, index: int) -> None:
+        tracer = self.context.tracer
         while self.commit_index < index:
             self.commit_index += 1
             entry = self.log[self.commit_index]
+            if tracer.enabled:
+                # Only the appending leader opened this key; on followers
+                # (and post-failover leaders) this is a no-op.
+                tracer.end(("raft", self.replica_id, self.commit_index))
             self._record_decision(
                 Decision(
                     sequence=self.commit_index,

@@ -93,7 +93,9 @@ class ParameterSweep:
         repetitions: int = 1,
     ) -> SweepRun:
         """Execute the sweep."""
-        runner = runner or BenchmarkRunner()
+        # Sweeps run many units back to back; retaining each unit's full
+        # simulated rig would accumulate every deployment in memory.
+        runner = runner or BenchmarkRunner(keep_last_rig=False)
         points = []
         for value in self.values:
             kwargs = dict(self.config_kwargs)

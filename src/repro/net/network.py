@@ -107,8 +107,15 @@ class Network:
         if message.dst not in self._endpoints:
             raise KeyError(f"unknown destination {message.dst!r}")
         self.messages_sent += 1
+        tracer = self.sim.tracer
         if not self.partitions.allows(message.src, message.dst, self._rng):
             self.messages_dropped += 1
+            if tracer.enabled and tracer.wants("net"):
+                tracer.event(
+                    "net.drop", category="net", node=message.src,
+                    dst=message.dst, kind=message.kind, size=message.size_bytes,
+                )
+                tracer.metrics.counter("net.dropped", system=self.name).inc()
             return
         link = self.link_between(message.src, message.dst)
         delay = link.delay(message.size_bytes, self._rng)
@@ -118,6 +125,21 @@ class Network:
         arrival = self.sim.now + delay
         arrival = max(arrival, self._fifo_clock.get(pair, 0.0))
         self._fifo_clock[pair] = arrival
+        if tracer.enabled and tracer.wants("net"):
+            latency = arrival - self.sim.now
+            tracer.event(
+                "net.send", category="net", node=message.src,
+                dst=message.dst, kind=message.kind, size=message.size_bytes,
+            )
+            # The delivery instant is already decided, so the matching
+            # deliver event can be recorded now with its future timestamp.
+            tracer.event(
+                "net.deliver", category="net", node=message.dst, at=arrival,
+                src=message.src, kind=message.kind, latency=round(latency, 9),
+            )
+            tracer.metrics.counter("net.sent", system=self.name).inc()
+            tracer.metrics.counter("net.bytes", system=self.name).inc(message.size_bytes)
+            tracer.metrics.histogram("net.latency", system=self.name).record(latency)
         endpoint = self._endpoints[message.dst]
         self.sim.schedule(arrival - self.sim.now, lambda: endpoint.on_message(message))
 

@@ -14,6 +14,10 @@ import typing
 from repro.sim.events import Event, SimulationError, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
+from repro.trace.tracer import NOOP_TRACER
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.trace.tracer import Tracer
 
 
 class Simulator:
@@ -22,6 +26,11 @@ class Simulator:
     Time is a float in seconds, starting at 0. Callbacks scheduled for the
     same instant run in schedule order (FIFO), which keeps runs fully
     deterministic for a fixed seed.
+
+    Every simulator carries a tracer (:data:`NOOP_TRACER` unless
+    :meth:`set_tracer` installs a live one); instrumented components read
+    it via ``sim.tracer`` so a disabled trace layer costs one attribute
+    check per hook.
     """
 
     def __init__(self, seed: int = 0) -> None:
@@ -30,11 +39,17 @@ class Simulator:
         self._sequence = 0
         self._running = False
         self.rng = RngRegistry(seed)
+        self.tracer = NOOP_TRACER
 
     @property
     def now(self) -> float:
         """Current simulated time in seconds."""
         return self._now
+
+    def set_tracer(self, tracer: "Tracer") -> None:
+        """Install a tracer and bind its clock to this simulator."""
+        self.tracer = tracer
+        tracer.bind_clock(lambda: self._now)
 
     def schedule(self, delay: float, callback: typing.Callable[[], None]) -> None:
         """Run ``callback()`` after ``delay`` simulated seconds."""
@@ -72,12 +87,29 @@ class Simulator:
                     break
                 heapq.heappop(self._queue)
                 self._now = at
-                callback()
+                if self.tracer.enabled:
+                    self._traced_dispatch(callback)
+                else:
+                    callback()
             if until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
         return self._now
+
+    def _traced_dispatch(self, callback: typing.Callable[[], None]) -> None:
+        """One dispatch with instrumentation: queue-depth gauge, dispatch
+        counter and (when configured) a per-callback span whose ``wall_us``
+        attribute carries the host-clock cost of the callback."""
+        tracer = self.tracer
+        tracer.metrics.gauge("sim.queue_depth", system="sim").set(len(self._queue))
+        tracer.metrics.counter("sim.dispatches", system="sim").inc()
+        if tracer.config.dispatch_spans and tracer.wants("sim"):
+            name = getattr(callback, "__qualname__", None) or type(callback).__name__
+            with tracer.span("dispatch", category="sim", fn=name):
+                callback()
+        else:
+            callback()
 
     def run_until_complete(self, process: Process, limit: float = 1e9) -> object:
         """Run until ``process`` finishes and return its value.

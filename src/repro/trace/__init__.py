@@ -1,0 +1,52 @@
+"""End-to-end tracing and instrumentation for the simulator.
+
+The paper explains *why* the seven systems perform differently; this
+package makes the reproduction explain itself the same way. A
+:class:`Tracer` threads through every layer — kernel dispatch, network
+message flow, consensus rounds and phases, block finality, payload
+execution and the clients' per-transaction submit→confirm life cycle —
+and exports either Chrome trace-event JSON (open it in Perfetto or
+``chrome://tracing``) or a flat JSONL event log. Tracing is off by
+default: every simulator starts with the shared :data:`NOOP_TRACER`,
+and instrumented hot paths cost a single ``tracer.enabled`` check.
+
+Typical use::
+
+    from repro.trace import TraceConfig, Tracer, write_chrome_trace
+
+    tracer = Tracer(TraceConfig.from_spec("net,consensus,client"))
+    runner = BenchmarkRunner(tracer=tracer)
+    runner.run(config)
+    write_chrome_trace(tracer, "trace.json")
+"""
+
+from repro.trace.chrome import chrome_trace, write_chrome_trace
+from repro.trace.config import CATEGORIES, TraceConfig
+from repro.trace.jsonl import jsonl_lines, read_jsonl, write_jsonl
+from repro.trace.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.trace.tracer import (
+    NOOP_TRACER,
+    EventRecord,
+    NoopTracer,
+    SpanRecord,
+    Tracer,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "EventRecord",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NOOP_TRACER",
+    "NoopTracer",
+    "SpanRecord",
+    "TraceConfig",
+    "Tracer",
+    "chrome_trace",
+    "jsonl_lines",
+    "read_jsonl",
+    "write_chrome_trace",
+    "write_jsonl",
+]

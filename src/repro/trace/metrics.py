@@ -1,0 +1,220 @@
+"""Counters, gauges and log-scale histograms for the tracing subsystem.
+
+The :class:`MetricsRegistry` keys every metric by ``(system, node, name)``
+so the same instrument ("net.latency") aggregates separately per system
+and per node while staying trivially joinable across either axis.
+Histograms use geometric (log-scale) buckets, which is the right shape
+for the quantities the simulator produces: latencies and sizes spanning
+four to six orders of magnitude.
+"""
+
+from __future__ import annotations
+
+import math
+import typing
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (must be non-negative)."""
+        if amount < 0:
+            raise ValueError(f"counter increments must be non-negative, got {amount}")
+        self.value += amount
+
+    def snapshot(self) -> dict:
+        """JSON-ready state."""
+        return {"value": self.value}
+
+
+class Gauge:
+    """A last-value instrument that also tracks its extremes."""
+
+    __slots__ = ("value", "max_value", "min_value", "updates")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.max_value = -math.inf
+        self.min_value = math.inf
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        """Record the current level."""
+        self.value = value
+        self.updates += 1
+        if value > self.max_value:
+            self.max_value = value
+        if value < self.min_value:
+            self.min_value = value
+
+    def snapshot(self) -> dict:
+        """JSON-ready state."""
+        if self.updates == 0:
+            return {"value": 0.0, "max": 0.0, "min": 0.0, "updates": 0}
+        return {
+            "value": self.value,
+            "max": self.max_value,
+            "min": self.min_value,
+            "updates": self.updates,
+        }
+
+
+class Histogram:
+    """A log-scale histogram.
+
+    Bucket ``i`` covers ``(base * factor**(i-1), base * factor**i]``;
+    values at or below zero land in a dedicated underflow bucket and
+    values below ``base`` in bucket 0. With the defaults (``base`` 1 µs,
+    ``factor`` 2) sub-second latencies resolve to ~20 buckets.
+    """
+
+    __slots__ = ("base", "factor", "_log_factor", "_counts", "underflow",
+                 "count", "total", "min_value", "max_value")
+
+    def __init__(self, base: float = 1e-6, factor: float = 2.0) -> None:
+        if base <= 0:
+            raise ValueError(f"base must be positive, got {base}")
+        if factor <= 1:
+            raise ValueError(f"factor must exceed 1, got {factor}")
+        self.base = base
+        self.factor = factor
+        self._log_factor = math.log(factor)
+        self._counts: typing.Dict[int, int] = {}
+        self.underflow = 0
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = -math.inf
+
+    def bucket_index(self, value: float) -> typing.Optional[int]:
+        """The bucket a value falls into (None for the underflow bucket)."""
+        if value <= 0:
+            return None
+        if value <= self.base:
+            return 0
+        # ceil with a nudge so exact bucket bounds stay in their bucket.
+        index = math.ceil(math.log(value / self.base) / self._log_factor - 1e-9)
+        return max(0, index)
+
+    def bucket_bound(self, index: int) -> float:
+        """The inclusive upper bound of bucket ``index``."""
+        return self.base * self.factor ** index
+
+    def record(self, value: float) -> None:
+        """Add one observation."""
+        self.count += 1
+        self.total += value
+        if value < self.min_value:
+            self.min_value = value
+        if value > self.max_value:
+            self.max_value = value
+        index = self.bucket_index(value)
+        if index is None:
+            self.underflow += 1
+        else:
+            self._counts[index] = self._counts.get(index, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        """Arithmetic mean of all observations."""
+        return self.total / self.count if self.count else 0.0
+
+    def buckets(self) -> typing.List[typing.Tuple[float, int]]:
+        """``(upper_bound, count)`` pairs, ascending, empty buckets skipped."""
+        return [
+            (self.bucket_bound(index), self._counts[index])
+            for index in sorted(self._counts)
+        ]
+
+    def quantile(self, q: float) -> float:
+        """Approximate quantile: the upper bound of the covering bucket."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        seen = self.underflow
+        if seen >= rank and self.underflow:
+            return 0.0
+        for bound, bucket_count in self.buckets():
+            seen += bucket_count
+            if seen >= rank:
+                return bound
+        return self.max_value
+
+    def snapshot(self) -> dict:
+        """JSON-ready state."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min_value if self.count else 0.0,
+            "max": self.max_value if self.count else 0.0,
+            "p50": self.quantile(0.5),
+            "p99": self.quantile(0.99),
+            "underflow": self.underflow,
+            "buckets": self.buckets(),
+        }
+
+
+#: One metric key: (system, node, name).
+MetricKey = typing.Tuple[str, str, str]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of instruments keyed by (system, node, name)."""
+
+    def __init__(self) -> None:
+        self._counters: typing.Dict[MetricKey, Counter] = {}
+        self._gauges: typing.Dict[MetricKey, Gauge] = {}
+        self._histograms: typing.Dict[MetricKey, Histogram] = {}
+
+    def counter(self, name: str, system: str = "", node: str = "") -> Counter:
+        """The counter for a key, created on first use."""
+        key = (system, node, name)
+        counter = self._counters.get(key)
+        if counter is None:
+            counter = self._counters[key] = Counter()
+        return counter
+
+    def gauge(self, name: str, system: str = "", node: str = "") -> Gauge:
+        """The gauge for a key, created on first use."""
+        key = (system, node, name)
+        gauge = self._gauges.get(key)
+        if gauge is None:
+            gauge = self._gauges[key] = Gauge()
+        return gauge
+
+    def histogram(
+        self, name: str, system: str = "", node: str = "",
+        base: float = 1e-6, factor: float = 2.0,
+    ) -> Histogram:
+        """The histogram for a key, created on first use."""
+        key = (system, node, name)
+        histogram = self._histograms.get(key)
+        if histogram is None:
+            histogram = self._histograms[key] = Histogram(base=base, factor=factor)
+        return histogram
+
+    def __len__(self) -> int:
+        return len(self._counters) + len(self._gauges) + len(self._histograms)
+
+    def snapshot(self) -> dict:
+        """All instruments, JSON-ready, keys flattened to strings."""
+
+        def flatten(metrics: typing.Dict[MetricKey, typing.Any]) -> dict:
+            return {
+                "/".join(part for part in key if part) or key[2]: metric.snapshot()
+                for key, metric in sorted(metrics.items())
+            }
+
+        return {
+            "counters": flatten(self._counters),
+            "gauges": flatten(self._gauges),
+            "histograms": flatten(self._histograms),
+        }

@@ -1,0 +1,292 @@
+"""Span-based tracing over simulated time.
+
+A :class:`Tracer` collects three record kinds:
+
+* **Spans** — named intervals of simulated time with attributes, either
+  lexically scoped (:meth:`Tracer.span`, a context manager) or opened and
+  closed across scheduled callbacks (:meth:`Tracer.begin` /
+  :meth:`Tracer.end`, keyed by an arbitrary hashable — the natural shape
+  for a DES, where a consensus round or a transaction's life is not a
+  lexical scope).
+* **Events** — instants with attributes (message sent, block appended).
+* **Metrics** — counters/gauges/histograms via :attr:`Tracer.metrics`.
+
+The default tracer on every :class:`~repro.sim.kernel.Simulator` is the
+module-level :data:`NOOP_TRACER`, whose ``enabled`` flag lets hot paths
+skip all instrumentation with a single attribute check — a disabled
+trace layer costs one branch per hook.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+import typing
+
+from repro.trace.config import TraceConfig
+from repro.trace.metrics import MetricsRegistry
+
+
+@dataclasses.dataclass
+class SpanRecord:
+    """One completed interval of simulated time."""
+
+    name: str
+    category: str
+    node: str
+    start: float
+    end: float
+    attrs: typing.Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        """Simulated seconds covered by the span."""
+        return self.end - self.start
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "type": "span",
+            "name": self.name,
+            "cat": self.category,
+            "node": self.node,
+            "start": self.start,
+            "end": self.end,
+            "attrs": self.attrs,
+        }
+
+
+@dataclasses.dataclass
+class EventRecord:
+    """One instantaneous occurrence."""
+
+    name: str
+    category: str
+    node: str
+    time: float
+    attrs: typing.Dict[str, object] = dataclasses.field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        return {
+            "type": "event",
+            "name": self.name,
+            "cat": self.category,
+            "node": self.node,
+            "time": self.time,
+            "attrs": self.attrs,
+        }
+
+
+class _NullSpan:
+    """Reusable do-nothing context manager for filtered-out spans."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+    def set(self, **attrs: object) -> None:
+        """Ignore attributes."""
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _SpanContext:
+    """Context manager backing :meth:`Tracer.span`."""
+
+    __slots__ = ("_tracer", "_name", "_category", "_node", "_attrs", "_start", "_wall")
+
+    def __init__(self, tracer: "Tracer", name: str, category: str, node: str,
+                 attrs: typing.Dict[str, object]) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._category = category
+        self._node = node
+        self._attrs = attrs
+        self._start = 0.0
+        self._wall = 0.0
+
+    def set(self, **attrs: object) -> None:
+        """Attach attributes discovered while the span is open."""
+        self._attrs.update(attrs)
+
+    def __enter__(self) -> "_SpanContext":
+        self._start = self._tracer.now
+        self._wall = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc: object) -> bool:
+        attrs = self._attrs
+        attrs.setdefault("wall_us", round((time.perf_counter() - self._wall) * 1e6, 2))
+        self._tracer._append_span(SpanRecord(
+            self._name, self._category, self._node,
+            self._start, self._tracer.now, attrs,
+        ))
+        return False
+
+
+class NoopTracer:
+    """The zero-overhead default: records nothing, filters everything."""
+
+    __slots__ = ()
+
+    enabled = False
+    metrics: typing.Optional[MetricsRegistry] = None
+
+    def bind_clock(self, clock: typing.Callable[[], float]) -> None:
+        """Ignore the clock."""
+
+    def wants(self, category: str) -> bool:
+        """Never interested."""
+        return False
+
+    def sampled(self, key: str) -> bool:
+        """Never sampled."""
+        return False
+
+    def span(self, name: str, /, category: str = "", node: str = "",
+             **attrs: object) -> _NullSpan:
+        """A shared do-nothing context manager."""
+        return _NULL_SPAN
+
+    def record_span(self, name: str, /, category: str = "", node: str = "", *,
+                    start: float = 0.0, end: float = 0.0, **attrs: object) -> None:
+        """Drop the span."""
+
+    def begin(self, key: typing.Hashable, name: str, /, category: str = "",
+              node: str = "", at: typing.Optional[float] = None, **attrs: object) -> None:
+        """Drop the open."""
+
+    def end(self, key: typing.Hashable, /, at: typing.Optional[float] = None,
+            **attrs: object) -> None:
+        """Drop the close."""
+
+    def event(self, name: str, /, category: str = "", node: str = "",
+              at: typing.Optional[float] = None, **attrs: object) -> None:
+        """Drop the event."""
+
+
+#: The shared disabled tracer every Simulator starts with.
+NOOP_TRACER = NoopTracer()
+
+
+class Tracer:
+    """Collects spans, events and metrics for one (or more) simulations.
+
+    The tracer is clock-agnostic until :meth:`bind_clock` hands it a
+    ``() -> float`` reading simulated seconds; the hosting simulator does
+    this in :meth:`~repro.sim.kernel.Simulator.set_tracer`.
+    """
+
+    enabled = True
+
+    def __init__(self, config: typing.Optional[TraceConfig] = None) -> None:
+        self.config = config or TraceConfig()
+        self.spans: typing.List[SpanRecord] = []
+        self.events: typing.List[EventRecord] = []
+        self.metrics = MetricsRegistry()
+        self.dropped_records = 0
+        self._clock: typing.Callable[[], float] = lambda: 0.0
+        self._open: typing.Dict[typing.Hashable, typing.Tuple[
+            str, str, str, float, typing.Dict[str, object]]] = {}
+
+    # ------------------------------------------------------------------
+    # Clock and filters
+
+    def bind_clock(self, clock: typing.Callable[[], float]) -> None:
+        """Use ``clock()`` as the source of simulated time."""
+        self._clock = clock
+
+    @property
+    def now(self) -> float:
+        """Current simulated time per the bound clock."""
+        return self._clock()
+
+    def wants(self, category: str) -> bool:
+        """Whether this tracer keeps records of ``category``."""
+        return self.config.wants(category)
+
+    def sampled(self, key: str) -> bool:
+        """Deterministic per-key sampling decision."""
+        return self.config.sampled(key)
+
+    # ------------------------------------------------------------------
+    # Spans
+
+    def span(self, name: str, /, category: str = "", node: str = "",
+             **attrs: object) -> typing.Union[_SpanContext, _NullSpan]:
+        """A context manager recording a lexically scoped span.
+
+        ``name`` (like every positional parameter of the record methods)
+        is positional-only, so attribute names such as ``key`` or
+        ``name`` never collide with the parameters.
+        """
+        if not self.config.wants(category):
+            return _NULL_SPAN
+        return _SpanContext(self, name, category, node, attrs)
+
+    def _append_span(self, record: SpanRecord) -> None:
+        if len(self.spans) >= self.config.max_records:
+            self.dropped_records += 1
+            return
+        self.spans.append(record)
+
+    def record_span(self, name: str, /, category: str = "", node: str = "", *,
+                    start: float, end: float, **attrs: object) -> None:
+        """Record a span whose bounds are both already known."""
+        if not self.config.wants(category):
+            return
+        self._append_span(SpanRecord(name, category, node, start, end, attrs))
+
+    def begin(self, key: typing.Hashable, name: str, /, category: str = "",
+              node: str = "", at: typing.Optional[float] = None, **attrs: object) -> None:
+        """Open a keyed span (no-op if the key is already open)."""
+        if not self.config.wants(category) or key in self._open:
+            return
+        start = self.now if at is None else at
+        self._open[key] = (name, category, node, start, attrs)
+
+    def end(self, key: typing.Hashable, /, at: typing.Optional[float] = None,
+            **attrs: object) -> None:
+        """Close a keyed span (no-op for unknown keys, so callers may
+        close unconditionally on every exit path)."""
+        opened = self._open.pop(key, None)
+        if opened is None:
+            return
+        name, category, node, start, open_attrs = opened
+        if attrs:
+            open_attrs.update(attrs)
+        self._append_span(SpanRecord(
+            name, category, node, start, self.now if at is None else at, open_attrs,
+        ))
+
+    def open_span_count(self) -> int:
+        """Keyed spans begun but not yet ended (diagnostic)."""
+        return len(self._open)
+
+    def drain_open(self, at: typing.Optional[float] = None, **attrs: object) -> int:
+        """Close every open keyed span (e.g. transactions that never
+        confirmed) and return how many were closed."""
+        keys = list(self._open)
+        for key in keys:
+            self.end(key, at=at, **attrs)
+        return len(keys)
+
+    # ------------------------------------------------------------------
+    # Events
+
+    def event(self, name: str, /, category: str = "", node: str = "",
+              at: typing.Optional[float] = None, **attrs: object) -> None:
+        """Record an instantaneous event."""
+        if not self.config.wants(category):
+            return
+        if len(self.events) >= self.config.max_records:
+            self.dropped_records += 1
+            return
+        self.events.append(EventRecord(name, category, node,
+                                       self.now if at is None else at, attrs))

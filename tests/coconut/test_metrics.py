@@ -5,7 +5,13 @@ from hypothesis import given
 from hypothesis import strategies as st
 
 from repro.coconut.client import PayloadRecord
-from repro.coconut.metrics import MetricSummary, PhaseMetrics, aggregate, confidence_interval
+from repro.coconut.metrics import (
+    MetricSummary,
+    PhaseMetrics,
+    aggregate,
+    confidence_interval,
+    t_critical,
+)
 
 
 class FakeClient:
@@ -34,6 +40,39 @@ class FakeClient:
 def record(start, end=None, status="pending"):
     return PayloadRecord(payload_id=f"p{start}-{end}", phase="Set",
                          start_time=start, end_time=end, status=status)
+
+
+class TestTCritical:
+    def test_known_table_values(self):
+        # Two-sided 95% values from standard Student-t tables. df=2 is
+        # the one the paper's r=3 statistics depend on.
+        for df, expected in ((1, 12.7062), (2, 4.3027), (5, 2.5706),
+                             (10, 2.2281), (30, 2.0423)):
+            assert t_critical(df) == pytest.approx(expected, abs=1e-4)
+
+    def test_large_df_interpolates_toward_normal(self):
+        # True values: t(0.975, 60) = 2.0003, t(0.975, 120) = 1.9799.
+        assert t_critical(60) == pytest.approx(2.0003, abs=2e-3)
+        assert t_critical(120) == pytest.approx(1.9799, abs=2e-3)
+        assert t_critical(10**6) == pytest.approx(1.9600, abs=1e-3)
+
+    def test_monotone_decreasing_in_df(self):
+        values = [t_critical(df) for df in range(1, 200)]
+        assert values == sorted(values, reverse=True)
+
+    def test_degenerate_df(self):
+        assert t_critical(0) == 0.0
+        assert t_critical(-3) == 0.0
+
+    def test_unsupported_alpha_rejected(self):
+        with pytest.raises(ValueError, match="alpha"):
+            t_critical(5, two_sided_alpha=0.01)
+
+    def test_matches_scipy_when_available(self):
+        stats = pytest.importorskip("scipy.stats")
+        for df in (1, 2, 3, 7, 15, 30, 45, 90):
+            exact = float(stats.t.ppf(0.975, df))
+            assert t_critical(df) == pytest.approx(exact, abs=2e-3)
 
 
 class TestAggregate:

@@ -55,6 +55,41 @@ class TestPartitionController:
         controller.heal_all()
         assert controller.allows("a", "c", rng)
 
+    def test_unblock_restores_both_directions(self):
+        controller = PartitionController()
+        rng = random.Random(1)
+        controller.block("a", "b")
+        controller.unblock("b", "a")  # argument order must not matter
+        assert controller.allows("a", "b", rng)
+        assert controller.allows("b", "a", rng)
+
+    def test_heal_endpoint_leaves_other_isolations_intact(self):
+        controller = PartitionController()
+        rng = random.Random(1)
+        controller.isolate("a")
+        controller.isolate("b")
+        controller.heal_endpoint("a")
+        assert controller.allows("a", "c", rng)
+        assert not controller.allows("b", "c", rng)
+        assert not controller.allows("a", "b", rng)  # b still isolated
+
+    def test_heal_endpoint_does_not_lift_pair_blocks(self):
+        controller = PartitionController()
+        rng = random.Random(1)
+        controller.block("a", "b")
+        controller.isolate("a")
+        controller.heal_endpoint("a")
+        assert not controller.allows("a", "b", rng)
+        assert controller.allows("a", "c", rng)
+
+    def test_unblock_and_heal_are_idempotent(self):
+        controller = PartitionController()
+        rng = random.Random(1)
+        controller.unblock("a", "b")  # never blocked
+        controller.heal_endpoint("x")  # never isolated
+        controller.heal_all()  # nothing to heal
+        assert controller.allows("a", "b", rng)
+
     def test_drop_probability(self):
         controller = PartitionController()
         controller.drop_probability = 0.5
@@ -62,6 +97,22 @@ class TestPartitionController:
         outcomes = [controller.allows("a", "b", rng) for __ in range(1000)]
         dropped = outcomes.count(False)
         assert 400 < dropped < 600
+
+    def test_drop_decisions_are_seed_deterministic(self):
+        def run(seed):
+            controller = PartitionController()
+            controller.drop_probability = 0.3
+            rng = random.Random(seed)
+            return [controller.allows("a", "b", rng) for __ in range(200)]
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_heal_all_keeps_drop_probability(self):
+        controller = PartitionController()
+        controller.drop_probability = 1.0
+        controller.heal_all()
+        assert not controller.allows("a", "b", random.Random(1))
 
 
 class TestNetworkIntegration:
@@ -84,3 +135,12 @@ class TestNetworkIntegration:
         nodes[0].send("n1", "delivered")
         sim.run()
         assert [kind for __, kind, __ in nodes[1].received] == ["delivered"]
+
+    def test_lossy_network_drops_and_counts_messages(self, rig):
+        sim, network, nodes = rig
+        network.partitions.drop_probability = 0.5
+        for index in range(100):
+            nodes[0].send("n1", f"m{index}")
+        sim.run()
+        assert 0 < network.messages_dropped < 100
+        assert len(nodes[1].received) == 100 - network.messages_dropped

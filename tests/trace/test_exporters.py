@@ -1,0 +1,115 @@
+"""Unit tests for the Chrome trace-event and JSONL exporters."""
+
+import json
+
+from repro.trace import (
+    TraceConfig,
+    Tracer,
+    chrome_trace,
+    jsonl_lines,
+    read_jsonl,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+
+def sample_tracer() -> Tracer:
+    tracer = Tracer(TraceConfig())
+    tracer.bind_clock(lambda: 0.0)
+    tracer.record_span("tx", category="client", node="client-0",
+                       start=0.5, end=1.25, status="received")
+    tracer.record_span("raft.replicate", category="consensus", node="orderer0",
+                       start=0.6, end=0.61, index=0)
+    tracer.event("net.send", category="net", node="client-0", at=0.5,
+                 dst="fabric-n0", size=256)
+    tracer.metrics.counter("net.sent", system="fabric").inc(2)
+    return tracer
+
+
+class TestChromeTrace:
+    def test_document_structure(self):
+        doc = chrome_trace(sample_tracer(), process_name="test-proc")
+        assert set(doc) == {"traceEvents", "displayTimeUnit"}
+        assert doc["displayTimeUnit"] == "ms"
+        phases = {e["ph"] for e in doc["traceEvents"]}
+        assert phases == {"M", "X", "i"}
+
+    def test_spans_map_to_complete_events_in_microseconds(self):
+        doc = chrome_trace(sample_tracer())
+        (tx,) = [e for e in doc["traceEvents"] if e.get("name") == "tx"]
+        assert tx["ph"] == "X"
+        assert tx["cat"] == "client"
+        assert tx["ts"] == 0.5e6
+        assert tx["dur"] == 0.75e6
+        assert tx["args"]["status"] == "received"
+
+    def test_events_map_to_instants(self):
+        doc = chrome_trace(sample_tracer())
+        (send,) = [e for e in doc["traceEvents"] if e.get("name") == "net.send"]
+        assert send["ph"] == "i"
+        assert send["s"] == "t"
+        assert send["ts"] == 0.5e6
+
+    def test_one_thread_row_per_node_with_names(self):
+        doc = chrome_trace(sample_tracer())
+        names = {
+            e["tid"]: e["args"]["name"]
+            for e in doc["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert names[0] == "(global)"
+        assert set(names.values()) == {"(global)", "client-0", "orderer0"}
+        (tx,) = [e for e in doc["traceEvents"] if e.get("name") == "tx"]
+        assert names[tx["tid"]] == "client-0"
+
+    def test_events_sorted_by_timestamp(self):
+        doc = chrome_trace(sample_tracer())
+        stamps = [e["ts"] for e in doc["traceEvents"] if e["ph"] != "M"]
+        assert stamps == sorted(stamps)
+
+    def test_written_file_is_valid_json(self, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(sample_tracer(), path)
+        with open(path, encoding="utf-8") as handle:
+            doc = json.load(handle)
+        assert len(doc["traceEvents"]) > 0
+
+    def test_negative_duration_clamped(self):
+        tracer = Tracer(TraceConfig())
+        tracer.bind_clock(lambda: 0.0)
+        tracer.record_span("odd", category="sim", start=2.0, end=1.0)
+        doc = chrome_trace(tracer)
+        (odd,) = [e for e in doc["traceEvents"] if e.get("name") == "odd"]
+        assert odd["dur"] == 0.0
+
+
+class TestJsonl:
+    def test_lines_are_time_ordered_with_metrics_trailer(self):
+        lines = list(jsonl_lines(sample_tracer()))
+        assert lines[-1]["type"] == "metrics"
+        assert lines[-1]["metrics"]["counters"]["fabric/net.sent"]["value"] == 2
+        body = lines[:-1]
+        stamps = [r["start"] if r["type"] == "span" else r["time"] for r in body]
+        assert stamps == sorted(stamps)
+        kinds = {r["type"] for r in body}
+        assert kinds == {"span", "event"}
+
+    def test_round_trip_through_file(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        tracer = sample_tracer()
+        write_jsonl(tracer, path)
+        loaded = read_jsonl(path)
+        assert len(loaded) == len(tracer.spans) + len(tracer.events) + 1
+        (tx,) = [r for r in loaded if r.get("name") == "tx"]
+        assert tx == {
+            "type": "span", "name": "tx", "cat": "client", "node": "client-0",
+            "start": 0.5, "end": 1.25, "attrs": {"status": "received"},
+        }
+
+    def test_loaded_spans_feed_tracestats(self, tmp_path):
+        from repro.analysis.tracestats import span_stats
+
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(sample_tracer(), path)
+        stats = span_stats(read_jsonl(path))
+        assert {s.name for s in stats} == {"tx", "raft.replicate"}

@@ -1,0 +1,117 @@
+"""Unit tests for trace metrics: counters, gauges, log-scale histograms."""
+
+import pytest
+
+from repro.trace import Counter, Gauge, Histogram, MetricsRegistry
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        counter = Counter()
+        counter.inc()
+        counter.inc(2.5)
+        assert counter.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_tracks_extremes_and_updates(self):
+        gauge = Gauge()
+        for value in (3.0, -1.0, 7.0):
+            gauge.set(value)
+        assert gauge.value == 7.0
+        assert gauge.max_value == 7.0
+        assert gauge.min_value == -1.0
+        assert gauge.updates == 3
+
+    def test_untouched_gauge_snapshots_zeros(self):
+        assert Gauge().snapshot() == {"value": 0.0, "max": 0.0, "min": 0.0, "updates": 0}
+
+
+class TestHistogramBucketing:
+    def test_bucket_boundaries_are_inclusive_upper(self):
+        # Bucket i covers (base*2^(i-1), base*2^i] with base=1.
+        hist = Histogram(base=1.0, factor=2.0)
+        assert hist.bucket_index(1.0) == 0
+        assert hist.bucket_index(2.0) == 1
+        assert hist.bucket_index(2.0001) == 2
+        assert hist.bucket_index(4.0) == 2
+        assert hist.bucket_index(0.5) == 0  # below base -> bucket 0
+        assert hist.bucket_bound(3) == 8.0
+
+    def test_nonpositive_values_underflow(self):
+        hist = Histogram(base=1.0)
+        assert hist.bucket_index(0.0) is None
+        assert hist.bucket_index(-3.0) is None
+        hist.record(0.0)
+        hist.record(-1.0)
+        assert hist.underflow == 2
+        assert hist.buckets() == []
+
+    def test_default_base_resolves_sub_millisecond_latencies(self):
+        hist = Histogram()  # base 1 us, factor 2
+        hist.record(0.0004)  # a typical datacenter link latency
+        ((bound, count),) = hist.buckets()
+        assert count == 1
+        # 0.0004 s lands in the bucket bounded by ~512 us.
+        assert bound == pytest.approx(512e-6)
+
+    def test_mean_min_max(self):
+        hist = Histogram(base=1.0)
+        for value in (1.0, 2.0, 9.0):
+            hist.record(value)
+        assert hist.mean == pytest.approx(4.0)
+        assert hist.min_value == 1.0
+        assert hist.max_value == 9.0
+        assert hist.count == 3
+
+    def test_quantile_returns_covering_bucket_bound(self):
+        hist = Histogram(base=1.0, factor=2.0)
+        for __ in range(99):
+            hist.record(1.5)  # bucket bound 2.0
+        hist.record(100.0)  # bucket bound 128.0
+        assert hist.quantile(0.5) == 2.0
+        assert hist.quantile(1.0) == 128.0
+        assert Histogram().quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            hist.quantile(1.5)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            Histogram(base=0.0)
+        with pytest.raises(ValueError):
+            Histogram(factor=1.0)
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_is_stable_per_key(self):
+        registry = MetricsRegistry()
+        a = registry.counter("net.sent", system="fabric")
+        b = registry.counter("net.sent", system="fabric")
+        other = registry.counter("net.sent", system="quorum")
+        assert a is b
+        assert a is not other
+        assert len(registry) == 2
+
+    def test_axes_separate_instruments(self):
+        registry = MetricsRegistry()
+        registry.counter("x").inc()
+        registry.counter("x", node="n0").inc(2)
+        registry.gauge("depth", system="sim").set(4)
+        registry.histogram("lat", node="n1").record(0.5)
+        snapshot = registry.snapshot()
+        assert snapshot["counters"]["x"]["value"] == 1
+        assert snapshot["counters"]["n0/x"]["value"] == 2
+        assert snapshot["gauges"]["sim/depth"]["max"] == 4
+        assert snapshot["histograms"]["n1/lat"]["count"] == 1
+
+    def test_snapshot_is_json_serialisable(self):
+        import json
+
+        registry = MetricsRegistry()
+        registry.counter("c", system="s", node="n").inc()
+        registry.histogram("h").record(1.0)
+        json.dumps(registry.snapshot())

@@ -1,0 +1,84 @@
+"""Unit tests for trace span statistics (nesting and self time)."""
+
+import pytest
+
+from repro.analysis.tracestats import render_span_stats, span_stats
+from repro.trace import SpanRecord
+
+
+def span(name, start, end, node="n0", category="c"):
+    return SpanRecord(name=name, category=category, node=node, start=start, end=end)
+
+
+class TestSelfTime:
+    def test_children_subtract_from_parent(self):
+        spans = [
+            span("parent", 0.0, 10.0),
+            span("child", 2.0, 4.0),
+            span("child", 5.0, 6.0),
+        ]
+        stats = {s.name: s for s in span_stats(spans)}
+        assert stats["parent"].total == pytest.approx(10.0)
+        assert stats["parent"].self_total == pytest.approx(7.0)
+        assert stats["child"].self_total == pytest.approx(3.0)
+
+    def test_grandchildren_charge_innermost_ancestor(self):
+        spans = [
+            span("outer", 0.0, 10.0),
+            span("mid", 1.0, 9.0),
+            span("inner", 2.0, 3.0),
+        ]
+        stats = {s.name: s for s in span_stats(spans)}
+        assert stats["inner"].self_total == pytest.approx(1.0)
+        assert stats["mid"].self_total == pytest.approx(7.0)
+        assert stats["outer"].self_total == pytest.approx(2.0)
+
+    def test_partial_overlap_is_concurrent_not_nested(self):
+        # Pipelined slots on one node overlap without nesting; neither
+        # may be charged against the other.
+        spans = [span("a", 0.0, 5.0), span("b", 3.0, 8.0)]
+        stats = {s.name: s for s in span_stats(spans)}
+        assert stats["a"].self_total == pytest.approx(5.0)
+        assert stats["b"].self_total == pytest.approx(5.0)
+
+    def test_partial_overlapper_does_not_adopt_children(self):
+        # c nests in a, not in the concurrent b; b's self time is intact.
+        spans = [
+            span("a", 0.0, 6.0),
+            span("b", 3.0, 10.0),
+            span("c", 4.0, 5.0),
+        ]
+        stats = {s.name: s for s in span_stats(spans)}
+        assert stats["a"].self_total == pytest.approx(5.0)
+        assert stats["b"].self_total == pytest.approx(7.0)
+        assert stats["c"].self_total == pytest.approx(1.0)
+
+    def test_nodes_are_independent(self):
+        spans = [
+            span("parent", 0.0, 10.0, node="n0"),
+            span("other", 2.0, 4.0, node="n1"),
+        ]
+        stats = {s.name: s for s in span_stats(spans)}
+        assert stats["parent"].self_total == pytest.approx(10.0)
+        assert stats["other"].self_total == pytest.approx(2.0)
+
+
+class TestAggregation:
+    def test_counts_means_and_ordering(self):
+        spans = [
+            span("fast", 0.0, 1.0),
+            span("fast", 10.0, 11.0),
+            span("slow", 20.0, 29.0),
+        ]
+        stats = span_stats(spans)
+        assert [s.name for s in stats] == ["slow", "fast"]  # by self time
+        fast = stats[1]
+        assert fast.count == 2
+        assert fast.mean == pytest.approx(1.0)
+        assert fast.max_duration == pytest.approx(1.0)
+
+    def test_render_produces_table_and_handles_empty(self):
+        table = render_span_stats([span("x", 0.0, 2.0)], top=5)
+        assert "category" in table.splitlines()[0]
+        assert "x" in table
+        assert render_span_stats([]) == "trace: no spans recorded"
