@@ -406,6 +406,11 @@ class SystemModel(abc.ABC):
         self._pending_final: typing.Dict[str, typing.Dict[str, typing.Tuple[TxStatus, str]]] = {}
         self._pending_height: typing.Dict[str, typing.Optional[int]] = {}
         self.started = False
+        #: True when a fault plan is installed on this deployment. Systems
+        #: whose failure handling would perturb calibrated healthy-run
+        #: behaviour (Corda's flow reply timeouts) only arm it when set,
+        #: keeping fault-free runs byte-identical.
+        self.fault_mode = False
         self.build()
 
     # ------------------------------------------------------------------
@@ -438,6 +443,64 @@ class SystemModel(abc.ABC):
     def handle_node_message(self, node: BaseNode, message: Message) -> None:
         """Handle non-engine, non-submit node traffic (override as needed)."""
         raise NotImplementedError(f"{self.name}: unhandled message kind {message.kind!r}")
+
+    # ------------------------------------------------------------------
+    # Fault injection (crash/restart lifecycle)
+
+    def engine_of(self, endpoint_id: str) -> typing.Optional[object]:
+        """The consensus engine behind an endpoint, if it has one.
+
+        Systems whose consensus lives off the node (Fabric's orderers,
+        Corda's notaries) override this to cover those endpoints too.
+        """
+        node = self.nodes.get(endpoint_id)
+        return getattr(node, "engine", None) if node is not None else None
+
+    def leader_id(self) -> typing.Optional[str]:
+        """The endpoint currently coordinating consensus, if the system
+        has such a role (Raft leader, PBFT primary, IBFT proposer, DPoS
+        slot witness, Corda notary). ``None`` for leaderless systems."""
+        return None
+
+    def enter_fault_mode(self) -> None:
+        """Arm the defensive paths that stay cold in healthy runs.
+
+        Sets :attr:`fault_mode` and switches every consensus engine into
+        recovery mode (vote re-broadcast, gap sync — behaviours that
+        would perturb calibrated fault-free schedules).
+        """
+        self.fault_mode = True
+        for node_id in self.node_ids:
+            engine = self.engine_of(node_id)
+            if engine is not None and hasattr(engine, "enable_recovery"):
+                engine.enable_recovery()
+
+    def crash_node(self, endpoint_id: str) -> None:
+        """Crash one endpoint: it stops sending, receiving and deciding.
+
+        Messages already in flight toward it are dropped. Durable state
+        (chain replica, world state, decided logs) survives — the model's
+        crashes are process crashes, not disk loss.
+        """
+        self.network.set_endpoint_down(endpoint_id)
+        engine = self.engine_of(endpoint_id)
+        if engine is not None:
+            engine.on_crash()
+        self._post_crash(endpoint_id)
+
+    def restart_node(self, endpoint_id: str) -> None:
+        """Restart a crashed endpoint; its engine runs its recovery path."""
+        self.network.set_endpoint_up(endpoint_id)
+        engine = self.engine_of(endpoint_id)
+        if engine is not None:
+            engine.on_restart()
+        self._post_restart(endpoint_id)
+
+    def _post_crash(self, endpoint_id: str) -> None:
+        """System-specific crash side effects (override as needed)."""
+
+    def _post_restart(self, endpoint_id: str) -> None:
+        """System-specific restart side effects (override as needed)."""
 
     # ------------------------------------------------------------------
     # Client attachment

@@ -155,6 +155,15 @@ class BitSharesSystem(SystemModel):
             assert engine is not None
             engine.start()
 
+    def leader_id(self) -> typing.Optional[str]:
+        """The witness scheduled for the slot in progress."""
+        for node in self.nodes.values():
+            engine = typing.cast(BitSharesNode, node).engine
+            if engine is not None and not engine.stopped:
+                slot = int(self.sim.now / engine.block_interval)
+                return engine.witness_for_slot(slot)
+        return None
+
     # ------------------------------------------------------------------
     # Block production
 

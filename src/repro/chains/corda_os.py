@@ -29,6 +29,7 @@ import typing
 from repro.chains.base import BaseNode, SystemModel
 from repro.iel.base import StateInterface
 from repro.net import Endpoint, Message
+from repro.sim.events import AllOf, AnyOf
 from repro.sim.resources import Resource
 from repro.storage import Payload, Transaction, TxStatus
 from repro.storage.utxo import StateRef
@@ -46,6 +47,10 @@ RATE_WINDOW = 10.0
 #: Initiator-side time to process one counterparty's signature response
 #: (parallel collection still pays this per counterparty).
 SIGNATURE_RESPONSE_COST = 0.012
+
+#: Sentinel returned by :meth:`CordaSystemBase._flow_wait` when a reply
+#: never arrived within the flow timeout (fault injection only).
+FLOW_WAIT_TIMED_OUT = object()
 
 
 @dataclasses.dataclass
@@ -164,6 +169,15 @@ class CordaNotary(Endpoint):
         self.cluster_commit_latency = cluster_commit_latency
         self.accepted = 0
         self.rejected = 0
+        self.stopped = False
+
+    def on_crash(self) -> None:
+        """The spent-state set is shared and durable: a restarted notary
+        still rejects double spends notarised before the crash."""
+        self.stopped = True
+
+    def on_restart(self) -> None:
+        self.stopped = False
 
     def on_message(self, message: Message) -> None:
         if message.kind != "corda/notarise":
@@ -275,6 +289,18 @@ class CordaSystemBase(SystemModel):
     def start(self) -> None:
         self.started = True  # flows are demand-driven; nothing to arm
 
+    def engine_of(self, endpoint_id: str) -> typing.Optional[object]:
+        for notary in self.notaries:
+            if notary.endpoint_id == endpoint_id:
+                return notary
+        return super().engine_of(endpoint_id)
+
+    def leader_id(self) -> typing.Optional[str]:
+        """Corda has no consensus leader; the closest coordinating role
+        is the notary cluster, so "kill the leader" targets its first
+        instance."""
+        return self.notaries[0].endpoint_id
+
     # ------------------------------------------------------------------
     # Flow plumbing
 
@@ -289,6 +315,35 @@ class CordaSystemBase(SystemModel):
         event = self._pending_replies.pop((tx_id, kind), None)
         if event is not None:
             event.succeed(value)
+
+    def _flow_wait(self, event) -> typing.Generator:
+        """Wait on a reply event; under fault injection, give up after
+        the flow timeout.
+
+        A crashed counterparty or notary never replies, which would pin
+        the flow (and its worker slot) forever. Healthy runs never reach
+        the timer branch, so fault-free schedules stay byte-identical.
+        """
+        if not self.fault_mode:
+            value = yield event
+            return value
+        waited = yield AnyOf(
+            self.sim, [event, self.sim.timeout(float(self.params["FlowTimeout"]))]
+        )
+        if event in waited:
+            return waited[event]
+        return FLOW_WAIT_TIMED_OUT
+
+    def _abort_flow(
+        self, node: CordaNode, client_id: str, transaction: Transaction, kinds: typing.List[str]
+    ) -> None:
+        """A reply never came: drop the stale wait entries and fail the flow."""
+        for kind in kinds:
+            self._pending_replies.pop((transaction.tx_id, kind), None)
+        node.flows_timed_out += 1
+        node.reject_client(
+            client_id, [p.payload_id for p in transaction.payloads], "flow timed out"
+        )
 
     def handle_node_message(self, node: BaseNode, message: Message) -> None:
         corda_node = typing.cast(CordaNode, node)
@@ -382,16 +437,22 @@ class CordaSystemBase(SystemModel):
                 for other in others:
                     reply = self.await_reply(transaction.tx_id, f"sign:{other}")
                     node.send(other, "corda/sign_request", {"tx_id": transaction.tx_id})
-                    yield reply
+                    signed = yield from self._flow_wait(reply)
+                    if signed is FLOW_WAIT_TIMED_OUT:
+                        self._abort_flow(node, client_id, transaction, [f"sign:{other}"])
+                        return
             else:
                 replies = [
                     self.await_reply(transaction.tx_id, f"sign:{other}") for other in others
                 ]
                 for other in others:
                     node.send(other, "corda/sign_request", {"tx_id": transaction.tx_id})
-                from repro.sim.events import AllOf
-
-                yield AllOf(self.sim, replies)
+                signed = yield from self._flow_wait(AllOf(self.sim, replies))
+                if signed is FLOW_WAIT_TIMED_OUT:
+                    self._abort_flow(
+                        node, client_id, transaction, [f"sign:{other}" for other in others]
+                    )
+                    return
             # Notarisation: the double-spend check.
             notarise_reply = self.await_reply(transaction.tx_id, "notarise")
             node.send(
@@ -399,7 +460,10 @@ class CordaSystemBase(SystemModel):
                 "corda/notarise",
                 {"tx_id": transaction.tx_id, "consumed": list(adapter.consumed)},
             )
-            ok = yield notarise_reply
+            ok = yield from self._flow_wait(notarise_reply)
+            if ok is FLOW_WAIT_TIMED_OUT:
+                self._abort_flow(node, client_id, transaction, ["notarise"])
+                return
             if not ok:
                 node.notary_rejections += 1
                 node.reject_client(client_id, [payload.payload_id], "notary double spend")

@@ -152,6 +152,15 @@ class DiemSystem(SystemModel):
             assert engine is not None
             engine.start()
 
+    def leader_id(self) -> typing.Optional[str]:
+        """The pacemaker leader of the current round, as the first live
+        validator sees it."""
+        for node in self.nodes.values():
+            engine = typing.cast(DiemValidator, node).engine
+            if engine is not None and not engine.stopped:
+                return engine.leader_for(engine.current_round)
+        return None
+
     # ------------------------------------------------------------------
     # Block assembly
 

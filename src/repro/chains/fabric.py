@@ -74,6 +74,7 @@ class FabricPeer(BaseNode):
         self._delivery_queue: Store = Store(self.sim, name=f"{node_id}-deliver")
         self._stream_inflight = 0
         self._stream_backlog: typing.Deque[FabricEnvelope] = collections.deque()
+        self._seen_proposals: typing.Set[str] = set()
         self.sim.spawn(self._commit_loop(), name=f"{node_id}-committer")
 
     def forward_envelope(self, envelope: FabricEnvelope) -> None:
@@ -85,9 +86,21 @@ class FabricPeer(BaseNode):
 
     def _stream_send(self, envelope: FabricEnvelope) -> None:
         system = typing.cast("FabricSystem", self.system)
-        target = system.leader_orderer_id() or system.orderer_of_peer(self.endpoint_id)
+        target = system.stream_target_for(self.endpoint_id)
+        if target is None:
+            return  # whole ordering service down; the envelope is lost
         self._stream_inflight += 1
         self.send(target, "fabric/envelope", envelope, size_bytes=envelope.size_bytes)
+
+    def reset_stream(self) -> None:
+        """The broadcast stream's orderer died: reconnect.
+
+        Unacknowledged envelopes were on the dead orderer's side of the
+        stream and are lost; the backlog re-streams to a live orderer.
+        """
+        self._stream_inflight = 0
+        while self._stream_backlog and self._stream_inflight < BROADCAST_WINDOW:
+            self._stream_send(self._stream_backlog.popleft())
 
     def on_stream_ack(self) -> None:
         """The orderer acknowledged one envelope; release the window."""
@@ -107,7 +120,15 @@ class FabricPeer(BaseNode):
         return FabricEnvelope(transaction, adapter.rwset, self.sim.now)
 
     def enqueue_block(self, proposal: BlockProposal, proposer: str) -> None:
-        """A block arrived from the ordering service."""
+        """A block arrived from the ordering service.
+
+        Duplicates are dropped: after an orderer failover or a peer
+        restart the deliver stream resumes from the ledger tip, and the
+        same block can be offered twice.
+        """
+        if proposal.proposal_id in self._seen_proposals:
+            return
+        self._seen_proposals.add(proposal.proposal_id)
         self._delivery_queue.try_put((proposal, proposer))
 
     def _commit_loop(self) -> typing.Generator:
@@ -150,10 +171,15 @@ class FabricOrderer(Endpoint):
         self.engine: typing.Optional[RaftEngine] = None
         self.pending: typing.List[FabricEnvelope] = []
         self.blocks_cut = 0
+        self.crashed = False
         # Kafka mode state: the consumed stream's cursor.
         self._kafka_pending: typing.List[FabricEnvelope] = []
         self._kafka_first_offset = 0
         self._kafka_last_ttc = -1
+        #: Next broker offset this consumer expects; a restarted orderer
+        #: replays the log from here.
+        self._kafka_consumed = 0
+        self._kafka_future: typing.Dict[int, typing.Tuple[str, object]] = {}
 
     @property
     def uses_kafka(self) -> bool:
@@ -229,6 +255,7 @@ class FabricOrderer(Endpoint):
         self._deliver(typing.cast(BlockProposal, decision.proposal), decision.proposer)
 
     def _deliver(self, proposal: BlockProposal, proposer: str) -> None:
+        self.system.note_block(proposal, proposer)
         for peer_id in self.system.peers_of_orderer(self.endpoint_id):
             self.send(
                 peer_id,
@@ -244,8 +271,23 @@ class FabricOrderer(Endpoint):
         """Consume one totally ordered broker message.
 
         Cutting is a pure function of the log, so every orderer cuts the
-        identical block sequence with identical deterministic ids.
+        identical block sequence with identical deterministic ids. A
+        crashed orderer consumes nothing (its cursor stays put); offsets
+        ahead of the cursor are buffered so a restart's replay and live
+        deliveries interleave without reordering the stream.
         """
+        if self.crashed or offset < self._kafka_consumed:
+            return
+        if offset > self._kafka_consumed:
+            self._kafka_future[offset] = message
+            return
+        self._consume_kafka(offset, message)
+        while self._kafka_consumed in self._kafka_future:
+            buffered_offset = self._kafka_consumed
+            self._consume_kafka(buffered_offset, self._kafka_future.pop(buffered_offset))
+
+    def _consume_kafka(self, offset: int, message: typing.Tuple[str, object]) -> None:
+        self._kafka_consumed = offset + 1
         kind, payload = message
         if kind == "envelope":
             if not self._kafka_pending:
@@ -334,6 +376,11 @@ class FabricSystem(SystemModel):
                 )
                 orderer.engine = RaftEngine(context)
         self._event_service_broken = self.spec.node_count >= EVENT_SERVICE_PEER_LIMIT
+        #: Every distinct block the ordering service delivered, in order.
+        #: A restarted peer's deliver stream resumes from here (the
+        #: ledger is durable on the orderers).
+        self.block_log: typing.List[typing.Tuple[BlockProposal, str]] = []
+        self._block_log_ids: typing.Set[str] = set()
 
     def _engine_sender(self, src: str):
         def sender(dst: str, kind: str, payload: object, size_bytes: int) -> None:
@@ -351,13 +398,38 @@ class FabricSystem(SystemModel):
     # ------------------------------------------------------------------
     # Topology helpers
 
+    def note_block(self, proposal: BlockProposal, proposer: str) -> None:
+        """Record one delivered block (Kafka mode delivers per orderer,
+        so the same block id arrives up to three times)."""
+        if proposal.proposal_id in self._block_log_ids:
+            return
+        self._block_log_ids.add(proposal.proposal_id)
+        self.block_log.append((proposal, proposer))
+
     def live_orderer_ids(self) -> typing.List[str]:
         """Orderers currently able to serve deliver streams."""
         return [
             orderer_id
             for orderer_id, orderer in self.orderers.items()
-            if orderer.engine is None or not orderer.engine.stopped
+            if not orderer.crashed
+            and (orderer.engine is None or not orderer.engine.stopped)
         ]
+
+    def stream_target_for(self, node_id: str) -> typing.Optional[str]:
+        """The orderer a peer's broadcast stream should go to right now.
+
+        Prefer the Raft leader, fall back to the peer's home orderer,
+        then to any live orderer; ``None`` when the whole ordering
+        service is down.
+        """
+        leader = self.leader_orderer_id()
+        if leader is not None and not self.orderers[leader].crashed:
+            return leader
+        home = self.orderer_of_peer(node_id)
+        if not self.orderers[home].crashed:
+            return home
+        live = self.live_orderer_ids()
+        return live[0] if live else None
 
     def peers_of_orderer(self, orderer_id: str) -> typing.List[str]:
         """The peers this orderer delivers blocks to (round-robin).
@@ -386,6 +458,52 @@ class FabricSystem(SystemModel):
             if orderer.engine is not None and orderer.engine.is_leader:
                 return orderer_id
         return None
+
+    # ------------------------------------------------------------------
+    # Fault lifecycle
+
+    def engine_of(self, endpoint_id: str) -> typing.Optional[object]:
+        orderer = self.orderers.get(endpoint_id)
+        if orderer is not None:
+            return orderer.engine
+        return super().engine_of(endpoint_id)
+
+    def leader_id(self) -> typing.Optional[str]:
+        """The coordinating endpoint: the Raft leader orderer (Kafka mode
+        has no leader; the first live orderer stands in)."""
+        if self.ordering_service == "kafka":
+            live = self.live_orderer_ids()
+            return live[0] if live else None
+        return self.leader_orderer_id()
+
+    def _post_crash(self, endpoint_id: str) -> None:
+        orderer = self.orderers.get(endpoint_id)
+        if orderer is None:
+            return
+        orderer.crashed = True
+        # The crashed orderer's in-memory envelope queue is gone (Kafka
+        # mode keeps _kafka_pending: it is recomputed from the durable
+        # broker log, which the restart replay re-reads).
+        orderer.pending.clear()
+        # Peers' broadcast streams into the dead orderer break; they
+        # reconnect to a live one, losing unacked envelopes.
+        for node in self.nodes.values():
+            typing.cast(FabricPeer, node).reset_stream()
+
+    def _post_restart(self, endpoint_id: str) -> None:
+        orderer = self.orderers.get(endpoint_id)
+        if orderer is not None:
+            orderer.crashed = False
+            if self.broker is not None:
+                # Resume consuming the broker log from the crash point.
+                self.broker.replay(orderer._kafka_consumed, orderer.on_kafka_message)
+            return
+        peer = typing.cast(FabricPeer, self.nodes.get(endpoint_id))
+        if peer is not None:
+            # The deliver stream resumes from the ledger: blocks the peer
+            # missed while down are re-offered (duplicates are filtered).
+            for proposal, proposer in self.block_log:
+                peer.enqueue_block(proposal, proposer)
 
     # ------------------------------------------------------------------
     # Submission path

@@ -129,6 +129,15 @@ class QuorumSystem(SystemModel):
                 self._blockperiod_ticker(validator), name=f"{node.endpoint_id}-ticker"
             )
 
+    def leader_id(self) -> typing.Optional[str]:
+        """The proposer of the current (height, round), as the first live
+        validator sees it."""
+        for node in self.nodes.values():
+            engine = typing.cast(QuorumValidator, node).engine
+            if engine is not None and not engine.stopped:
+                return engine.proposer_for(engine.height, engine.round)
+        return None
+
     def _blockperiod_ticker(self, validator: QuorumValidator) -> typing.Generator:
         period = float(self.params["istanbul.blockperiod"])
         while True:

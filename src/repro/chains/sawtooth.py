@@ -129,6 +129,15 @@ class SawtoothSystem(SystemModel):
             self.sim.spawn(self._executor(validator), name=f"{node.endpoint_id}-executor")
             self.sim.spawn(self._publisher(validator), name=f"{node.endpoint_id}-publisher")
 
+    def leader_id(self) -> typing.Optional[str]:
+        """The PBFT primary of the current view, as the first live
+        validator sees it."""
+        for node in self.nodes.values():
+            engine = typing.cast(SawtoothValidator, node).engine
+            if engine is not None and not engine.stopped:
+                return engine.primary_id
+        return None
+
     def _executor(self, validator: SawtoothValidator) -> typing.Generator:
         """The primary's batch pipeline: execute pending batches one at a
         time into the candidate block (the state root must be known
@@ -196,6 +205,19 @@ class SawtoothSystem(SystemModel):
 
     def _charge_gossip(self, node: BaseNode, batch: Batch) -> typing.Generator:
         yield from node.busy(self.profile.admission_cost * batch.payload_count)
+        # A gossiped batch sits in this validator's own queue: if the
+        # primary orders nothing within the progress timeout (dead or
+        # unreachable primary), this backup votes a view change. The
+        # shared pending deque can't signal this — an isolated primary
+        # keeps draining it, leaving the backups none the wiser.
+        engine = typing.cast(SawtoothValidator, node).engine
+        if engine is not None and not engine.stopped and not engine.is_primary:
+            # Only under fault injection: with a slow block publishing
+            # delay the backups' timers would otherwise fire on healthy
+            # queued work and thrash the view, perturbing the calibrated
+            # fault-free schedules.
+            if self.fault_mode and not self._scale_stalled:
+                engine.note_pending_work()
 
     def handle_submit(self, node: BaseNode, message: Message) -> None:
         batch = typing.cast(Batch, message.payload)

@@ -46,6 +46,14 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    fault_plan = None
+    if args.faults:
+        from repro.faults import FaultPlan
+
+        try:
+            fault_plan = FaultPlan.from_json_file(args.faults)
+        except (OSError, ValueError) as error:
+            raise SystemExit(f"coconut run: error: bad fault plan: {error}")
     config = BenchmarkConfig(
         system=args.system,
         iel=args.iel,
@@ -56,6 +64,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
         node_count=args.nodes,
         repetitions=args.repetitions,
         latency=EUROPEAN_WAN_LATENCY if args.netem else None,
+        fault_plan=fault_plan,
         scale=args.scale,
         seed=args.seed,
     )
@@ -81,6 +90,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
                              tracer=tracer)
     result = runner.run(config)
     print(unit_summary(result))
+    for phase, report in sorted(runner.last_resilience.items()):
+        print(f"resilience [{phase}]: {report.render()}")
     if args.blockstats and runner.last_rig is not None:
         from repro.analysis.blockstats import collect_block_stats
 
@@ -161,6 +172,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--repetitions", type=int, default=1)
     run_parser.add_argument("--netem", action="store_true",
                             help="emulate the paper's European WAN latency")
+    run_parser.add_argument("--faults", metavar="PLAN_JSON",
+                            help="inject faults from a JSON fault plan "
+                                 '({"actions": [...]}; times are offsets '
+                                 "from the first phase start)")
     run_parser.add_argument("--scale", type=float, default=0.1,
                             help="window scale (1.0 = the paper's 300 s send window)")
     run_parser.add_argument("--seed", type=int, default=0)

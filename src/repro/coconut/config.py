@@ -13,6 +13,7 @@ from __future__ import annotations
 import dataclasses
 import typing
 
+from repro.faults.plan import FaultPlan
 from repro.net.latency import LatencyModel
 
 #: Phase sequences of the benchmark units (Section 4.1): a KeyValue-Set
@@ -54,6 +55,10 @@ class BenchmarkConfig:
     workload_threads: int = 4
     repetitions: int = 3
     latency: typing.Optional[LatencyModel] = None
+    #: Fault actions injected at the first phase's start (action times
+    #: are offsets from that instant). None/empty = a healthy run, which
+    #: is byte-identical to one without the faults subsystem.
+    fault_plan: typing.Optional[FaultPlan] = None
     seed: int = 0
     #: Scales the three timing windows below (0.1 = a 30 s send window).
     scale: float = 1.0
@@ -127,6 +132,8 @@ class BenchmarkConfig:
             parts.append(f"batch{self.txs_per_batch}")
         if self.latency is not None:
             parts.append("netem")
+        if self.fault_plan:
+            parts.append(f"faults{len(self.fault_plan)}")
         if self.node_count != 4:
             parts.append(f"n{self.node_count}")
         return "-".join(parts)

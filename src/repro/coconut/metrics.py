@@ -105,6 +105,10 @@ class PhaseMetrics:
     duration: float
     tps: float
     mean_fls: float
+    #: :meth:`repro.faults.metrics.ResilienceReport.to_dict` output when
+    #: the repetition ran under a fault plan whose window touched this
+    #: phase; None for healthy runs.
+    resilience: typing.Optional[dict] = None
 
     @property
     def not_received(self) -> int:

@@ -15,6 +15,7 @@ from repro.coconut.config import BenchmarkConfig
 from repro.coconut.metrics import PhaseMetrics
 from repro.coconut.provisioner import Provisioner, Rig
 from repro.coconut.results import PhaseResult, ResultStore, UnitResult
+from repro.faults import FaultInjector, ResilienceReport
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.trace.tracer import Tracer
@@ -43,6 +44,9 @@ class BenchmarkRunner:
         #: bloats memory across large parameter sweeps.
         self.keep_last_rig = keep_last_rig
         self.last_rig: typing.Optional[Rig] = None
+        #: Phase -> resilience report of the most recent repetition that
+        #: ran under a fault plan (empty for healthy runs).
+        self.last_resilience: typing.Dict[str, ResilienceReport] = {}
 
     def run(self, config: BenchmarkConfig) -> UnitResult:
         """Run one benchmark unit, all repetitions, all phases."""
@@ -81,6 +85,12 @@ class BenchmarkRunner:
         clock = rig.system.stabilization_time
         metrics: typing.Dict[str, PhaseMetrics] = {}
         tracer = rig.sim.tracer
+        injector: typing.Optional[FaultInjector] = None
+        if config.fault_plan:
+            # Action times are offsets from the first phase's start.
+            injector = FaultInjector(rig.sim, rig.system, config.fault_plan)
+            injector.install(epoch=clock)
+            self.last_resilience = {}
         for phase in config.phase_sequence:
             # All clients wait for each other and start together
             # (Section 4.3: uniform load distribution).
@@ -96,11 +106,43 @@ class BenchmarkRunner:
                     iel=config.iel,
                 )
             metrics[phase] = PhaseMetrics.from_clients(rig.clients, phase, repetition)
+            self._attach_resilience(
+                metrics[phase], injector, rig, phase, phase_start, clock
+            )
             self.progress(
                 f"  {phase}: {metrics[phase].received}/{metrics[phase].expected} received, "
                 f"tps={metrics[phase].tps:.2f}, fls={metrics[phase].mean_fls:.2f}s"
             )
         return metrics
+
+    def _attach_resilience(
+        self,
+        phase_metrics: PhaseMetrics,
+        injector: typing.Optional[FaultInjector],
+        rig: Rig,
+        phase: str,
+        phase_start: float,
+        phase_end: float,
+    ) -> None:
+        """Compute the fault-window report for a phase the faults touched."""
+        if injector is None:
+            return
+        window = injector.fault_window()
+        if window is None or window[0] >= phase_end or window[1] <= phase_start:
+            return
+        records = [
+            record for client in rig.clients for record in client.phase_records(phase)
+        ]
+        report = ResilienceReport.from_records(
+            records,
+            fault_start=max(window[0], phase_start),
+            fault_end=min(window[1], phase_end),
+            phase_start=phase_start,
+            phase_end=phase_end,
+        )
+        phase_metrics.resilience = report.to_dict()
+        self.last_resilience[phase] = report
+        self.progress(f"  {phase} resilience: {report.render()}")
 
     def run_many(self, configs: typing.Iterable[BenchmarkConfig]) -> typing.List[UnitResult]:
         """Run a parameter sweep."""

@@ -113,6 +113,16 @@ class ReplicaEngine:
     def __init__(self, context: EngineContext) -> None:
         self.context = context
         self.decided_count = 0
+        #: Arms the engine's partition-recovery aids (vote re-broadcast,
+        #: gap sync, non-resetting progress timers). Off by default:
+        #: those aids change message and timer schedules, and fault-free
+        #: benchmark runs must stay byte-identical to a build without
+        #: the faults subsystem. The fault injector arms it at install.
+        self.recovery_mode = False
+
+    def enable_recovery(self) -> None:
+        """Arm the partition/crash recovery aids (fault runs only)."""
+        self.recovery_mode = True
 
     @property
     def replica_id(self) -> str:
@@ -129,6 +139,28 @@ class ReplicaEngine:
 
     def stop(self) -> None:
         """Cease protocol operation (crash simulation)."""
+        self._stopped = True
+
+    def recover(self) -> None:
+        """Resume protocol operation after :meth:`stop`.
+
+        Subclasses re-arm their timers and run their catch-up path
+        (sync requests, re-election) on top of this.
+        """
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Fault-injection lifecycle. The faults subsystem only calls these
+    # two; engines whose crash/recovery handling needs more than
+    # stop()/recover() (e.g. flushing volatile state) override them.
+
+    def on_crash(self) -> None:
+        """The hosting node crashed: cease operation, drop volatile state."""
+        self.stop()
+
+    def on_restart(self) -> None:
+        """The hosting node restarted: rejoin and catch up with the group."""
+        self.recover()
 
     def on_message(self, kind: str, sender: str, payload: object) -> None:
         """Handle a protocol message from a peer."""

@@ -25,7 +25,14 @@ from repro.crypto.signatures import quorum_size
 class IbftEngine(ReplicaEngine):
     """One IBFT validator."""
 
-    message_kinds = ("ibft/pre_prepare", "ibft/prepare", "ibft/commit", "ibft/round_change")
+    message_kinds = (
+        "ibft/pre_prepare",
+        "ibft/prepare",
+        "ibft/commit",
+        "ibft/round_change",
+        "ibft/sync_request",
+        "ibft/sync_response",
+    )
 
     def __init__(
         self,
@@ -48,6 +55,11 @@ class IbftEngine(ReplicaEngine):
         self._round_change_votes: typing.Dict[typing.Tuple[int, int], typing.Set[str]] = {}
         self._round_generation = 0
         self._stopped = False
+        #: Decided (proposal, proposer) per height, answering sync
+        #: requests from validators recovering from a crash.
+        self._decided_log: typing.List[typing.Tuple[object, str]] = []
+        self._sync_requested_through = -1
+        self._last_sync_request_at: typing.Optional[float] = None
 
     # ------------------------------------------------------------------
     # Roles
@@ -66,8 +78,18 @@ class IbftEngine(ReplicaEngine):
         self._stopped = True
 
     def recover(self) -> None:
-        """Restart after a crash."""
+        """Restart after a crash: re-arm the round timer and catch up.
+
+        IBFT is height-sequential, so a restarted validator first pulls
+        the heights the group decided while it was down; until those
+        arrive it simply drops in-round traffic for heights it has not
+        reached (and re-requests sync when it sees one).
+        """
         self._stopped = False
+        self._arm_round_timer()
+        self._sync_requested_through = self.height
+        self._last_sync_request_at = self.context.now
+        self.context.broadcast("ibft/sync_request", {"from_height": self.height})
 
     def start(self) -> None:
         """Arm the first round timer."""
@@ -128,8 +150,18 @@ class IbftEngine(ReplicaEngine):
         if self._stopped:
             return
         message = typing.cast(dict, payload)
+        if kind == "ibft/sync_request":
+            self._on_sync_request(sender, message)
+            return
+        if kind == "ibft/sync_response":
+            self._on_sync_response(sender, message)
+            return
         if kind == "ibft/round_change":
             self._on_round_change(sender, message)
+            return
+        if message["height"] > self.height:
+            # A peer is ahead — we missed decisions (crash recovery race).
+            self._request_sync(sender)
             return
         if message["height"] != self.height or message["round"] != self.round:
             return  # stale or future round; IBFT is height-sequential
@@ -197,6 +229,7 @@ class IbftEngine(ReplicaEngine):
             proposer=self.proposer,
             decided_at=self.context.now,
         )
+        self._decided_log.append((self.proposal, self.proposer))
         self._enter_height(self.height + 1)
         self._record_decision(decision)
 
@@ -228,11 +261,20 @@ class IbftEngine(ReplicaEngine):
     def _on_round_timeout(self, generation: int) -> None:
         if self._stopped or generation != self._round_generation:
             return
-        self._vote_round_change(self.height, self.round + 1)
+        target = self.round + 1
+        self._vote_round_change(self.height, target, rebroadcast=self.recovery_mode)
+        if self.recovery_mode and self.round < target:
+            # The round change found no quorum yet — e.g. the votes were
+            # lost to a partition. Keep the timer running so the vote is
+            # periodically re-broadcast; without this a heal finds every
+            # validator already voted and permanently silent.
+            self._arm_round_timer()
 
-    def _vote_round_change(self, height: int, new_round: int) -> None:
+    def _vote_round_change(
+        self, height: int, new_round: int, rebroadcast: bool = False
+    ) -> None:
         votes = self._round_change_votes.setdefault((height, new_round), set())
-        if self.replica_id in votes:
+        if self.replica_id in votes and not rebroadcast:
             return
         votes.add(self.replica_id)
         self.context.broadcast("ibft/round_change", {"height": height, "round": new_round})
@@ -265,3 +307,51 @@ class IbftEngine(ReplicaEngine):
         self.round = new_round
         self._reset_round_state()
         self._arm_round_timer()
+
+    # ------------------------------------------------------------------
+    # Crash-recovery sync
+
+    def _request_sync(self, sender: str) -> None:
+        now = self.context.now
+        if self.height <= self._sync_requested_through:
+            # A request for this height is already outstanding. In
+            # recovery mode, retry after a round-timeout of silence: the
+            # first request can race ahead of any peer actually deciding
+            # this height (restart just as the group stalls on us), and
+            # responders with nothing to offer stay silent.
+            if not self.recovery_mode:
+                return
+            if self._last_sync_request_at is not None and (
+                now - self._last_sync_request_at < self.round_timeout
+            ):
+                return
+        self._sync_requested_through = self.height
+        self._last_sync_request_at = now
+        self.context.send(sender, "ibft/sync_request", {"from_height": self.height})
+
+    def _on_sync_request(self, sender: str, message: dict) -> None:
+        from_height = message["from_height"]
+        entries = self._decided_log[from_height:]
+        if not entries:
+            return
+        self.context.send(
+            sender,
+            "ibft/sync_response",
+            {"from_height": from_height, "entries": entries},
+            size_bytes=256 + 512 * len(entries),
+        )
+
+    def _on_sync_response(self, sender: str, message: dict) -> None:
+        for offset, (proposal, proposer) in enumerate(message["entries"]):
+            height = message["from_height"] + offset
+            if height != self.height:
+                continue  # duplicate response, already replayed
+            decision = Decision(
+                sequence=height,
+                proposal=proposal,
+                proposer=proposer,
+                decided_at=self.context.now,
+            )
+            self._decided_log.append((proposal, proposer))
+            self._enter_height(height + 1)
+            self._record_decision(decision)

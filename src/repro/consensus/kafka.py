@@ -64,6 +64,19 @@ class KafkaBroker:
             self.sim.schedule(0.0, lambda o=offset, m=message: callback(o, m))
         self._subscribers.append(callback)
 
+    def replay(self, from_offset: int, callback: typing.Callable[[int, object], None]) -> None:
+        """Re-deliver committed messages from ``from_offset`` onward.
+
+        A consumer recovering from a crash resumes from its last seen
+        offset; the broker retains the whole log (no compaction in the
+        benchmark's time frame), so the gap is always available.
+        """
+        if from_offset < 0:
+            raise ValueError(f"negative offset: {from_offset}")
+        for offset in range(from_offset, len(self._log)):
+            message = self._log[offset]
+            self.sim.schedule(0.0, lambda o=offset, m=message: callback(o, m))
+
     def publish(self, message: object) -> None:
         """Enqueue a message for ordering.
 

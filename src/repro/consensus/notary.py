@@ -37,6 +37,25 @@ class NotaryService:
         self._spent: typing.Set[StateRef] = set()
         self.accepted = 0
         self.rejected = 0
+        self._stopped = False
+
+    @property
+    def stopped(self) -> bool:
+        """Whether the notary is currently crashed."""
+        return self._stopped
+
+    def on_crash(self) -> None:
+        """Crash the notary: requests already queued are abandoned.
+
+        The spent-state set is durable (it is the notary's whole point),
+        so a restarted notary keeps rejecting double-spends seen before
+        the crash.
+        """
+        self._stopped = True
+
+    def on_restart(self) -> None:
+        """Bring the notary back; new requests are served normally."""
+        self._stopped = False
 
     @property
     def queue_depth(self) -> int:

@@ -55,6 +55,8 @@ class PbftEngine(ReplicaEngine):
         "pbft/commit",
         "pbft/view_change",
         "pbft/new_view",
+        "pbft/sync_request",
+        "pbft/sync_response",
     )
 
     def __init__(
@@ -72,11 +74,15 @@ class PbftEngine(ReplicaEngine):
         self.next_sequence = 0  # next seq this primary will assign
         self.executed_through = -1  # highest sequence delivered in order
         self._slots: typing.Dict[int, _Slot] = {}
+        #: Executed decisions in sequence order, kept to answer peers'
+        #: sync requests after they recover from a crash.
+        self._decided_log: typing.List[typing.Tuple[object, str]] = []
         self._view_change_votes: typing.Dict[int, typing.Set[str]] = {}
         self._progress_generation = 0
         self._timer_active = False
         self._external_pending = False
         self._stopped = False
+        self._last_gap_sync_at: typing.Optional[float] = None
 
     # ------------------------------------------------------------------
     # Roles
@@ -96,8 +102,19 @@ class PbftEngine(ReplicaEngine):
         self._stopped = True
 
     def recover(self) -> None:
-        """Restart after a crash."""
+        """Restart after a crash: rejoin and pull missed decisions.
+
+        PBFT replicas crash with their voting state intact up to
+        ``executed_through`` (the decided log is durable); everything the
+        group executed while this replica was down is fetched from peers
+        via ``pbft/sync_request`` and replayed in sequence order.
+        """
         self._stopped = False
+        self.context.broadcast(
+            "pbft/sync_request", {"from_seq": self.executed_through + 1}
+        )
+        if self._has_pending_work():
+            self._arm_progress_timer()
 
     # ------------------------------------------------------------------
     # Proposing
@@ -158,6 +175,10 @@ class PbftEngine(ReplicaEngine):
             self._on_view_change(sender, message)
         elif kind == "pbft/new_view":
             self._on_new_view(sender, message)
+        elif kind == "pbft/sync_request":
+            self._on_sync_request(sender, message)
+        elif kind == "pbft/sync_response":
+            self._on_sync_response(sender, message)
 
     def _slot(self, sequence: int) -> _Slot:
         if sequence not in self._slots:
@@ -182,7 +203,35 @@ class PbftEngine(ReplicaEngine):
         if tracer.enabled:
             tracer.end(("pbft", phase, self.replica_id, sequence))
 
+    def _maybe_request_gap_sync(self, sender: str, sequence: int) -> None:
+        """Pull decisions a partition made us miss.
+
+        ``recover()`` only syncs after a crash; a replica that was merely
+        cut off never crashes, so when traffic arrives for a slot far
+        beyond anything it can execute — and the next slot it needs has
+        no pre-prepare — the decisions in between were missed on the
+        wire and must be fetched. The far-beyond threshold is the
+        primary's own pipeline bound: within ``max_in_flight`` a missing
+        pre-prepare can still be ordinary message reordering.
+        """
+        if not self.recovery_mode:
+            return
+        next_needed = self.executed_through + 1
+        if sequence <= next_needed + self.max_in_flight:
+            return
+        slot = self._slots.get(next_needed)
+        if slot is not None and slot.proposal is not None:
+            return  # the pipeline is intact, just deep
+        now = self.context.now
+        if self._last_gap_sync_at is not None and (
+            now - self._last_gap_sync_at < self.progress_timeout
+        ):
+            return
+        self._last_gap_sync_at = now
+        self.context.send(sender, "pbft/sync_request", {"from_seq": next_needed})
+
     def _on_pre_prepare(self, sender: str, message: dict) -> None:
+        self._maybe_request_gap_sync(sender, message["seq"])
         if message["view"] != self.view or sender != self.primary_id:
             return
         sequence = message["seq"]
@@ -201,7 +250,13 @@ class PbftEngine(ReplicaEngine):
                 "pbft/prepare",
                 {"view": self.view, "seq": sequence, "digest": slot.digest},
             )
-        self._arm_progress_timer()
+        # In recovery mode, arm — but never reset — the progress timer:
+        # a post-heal primary that keeps pre-preparing blocks which
+        # never execute must not be able to postpone the view change
+        # forever. The watermark check in the timeout tells real
+        # progress from mere traffic.
+        if not (self.recovery_mode and self._timer_active):
+            self._arm_progress_timer()
         self._check_prepared(sequence)
 
     def _on_prepare(self, sender: str, message: dict) -> None:
@@ -229,6 +284,7 @@ class PbftEngine(ReplicaEngine):
             self._check_committed(sequence)
 
     def _on_commit(self, sender: str, message: dict) -> None:
+        self._maybe_request_gap_sync(sender, message["seq"])
         slot = self._slot(message["seq"])
         if slot.digest and message["digest"] != slot.digest:
             return
@@ -252,6 +308,7 @@ class PbftEngine(ReplicaEngine):
                 break
             self.executed_through = next_sequence
             self._external_pending = False
+            self._decided_log.append((slot.proposal, slot.proposer))
             self._record_decision(
                 Decision(
                     sequence=next_sequence,
@@ -295,7 +352,14 @@ class PbftEngine(ReplicaEngine):
             return  # progress was made
         if not self._has_pending_work():
             return
-        self._vote_view_change(self.view + 1)
+        target = self.view + 1
+        self._vote_view_change(target, rebroadcast=self.recovery_mode)
+        if self.recovery_mode and self.view < target:
+            # The view change found no quorum yet — e.g. the votes were
+            # lost to a partition. Keep the timer running so the vote is
+            # periodically re-broadcast; without this a heal finds every
+            # replica already voted and permanently silent.
+            self._arm_progress_timer()
 
     def _has_pending_work(self) -> bool:
         if self._external_pending:
@@ -305,9 +369,9 @@ class PbftEngine(ReplicaEngine):
             for seq, slot in self._slots.items()
         )
 
-    def _vote_view_change(self, new_view: int) -> None:
+    def _vote_view_change(self, new_view: int, rebroadcast: bool = False) -> None:
         votes = self._view_change_votes.setdefault(new_view, set())
-        if self.replica_id in votes:
+        if self.replica_id in votes and not rebroadcast:
             return
         votes.add(self.replica_id)
         self.context.broadcast("pbft/view_change", {"new_view": new_view})
@@ -352,3 +416,39 @@ class PbftEngine(ReplicaEngine):
             self._view_change_votes.setdefault(message["view"], set()).add(sender)
             self.view = message["view"]
             self.next_sequence = self.executed_through + 1
+
+    # ------------------------------------------------------------------
+    # Crash-recovery sync
+
+    def _on_sync_request(self, sender: str, message: dict) -> None:
+        from_seq = message["from_seq"]
+        entries = self._decided_log[from_seq:]
+        self.context.send(
+            sender,
+            "pbft/sync_response",
+            {"from_seq": from_seq, "entries": entries, "view": self.view},
+            size_bytes=256 + 512 * len(entries),
+        )
+
+    def _on_sync_response(self, sender: str, message: dict) -> None:
+        for offset, (proposal, proposer) in enumerate(message["entries"]):
+            sequence = message["from_seq"] + offset
+            if sequence != self.executed_through + 1:
+                continue  # duplicate response, already replayed
+            self.executed_through = sequence
+            self.next_sequence = max(self.next_sequence, sequence + 1)
+            self._decided_log.append((proposal, proposer))
+            self._record_decision(
+                Decision(
+                    sequence=sequence,
+                    proposal=proposal,
+                    proposer=proposer,
+                    decided_at=self.context.now,
+                )
+            )
+        if message["view"] > self.view:
+            self.view = message["view"]
+            self.next_sequence = self.executed_through + 1
+        # Slots committed locally above the synced watermark may now be
+        # executable (e.g. commits that raced the crash).
+        self._execute_in_order()

@@ -56,6 +56,10 @@ class Case:
     paper: PaperValue = dataclasses.field(default_factory=PaperValue)
     recommended_scale: float = 0.1
     recommended_repetitions: int = 1
+    #: Set when the case's phenomenon is slower than the scaled listen
+    #: window: a zero-received measurement is then annotated as
+    #: unobservable rather than presented as a bare zero.
+    window_note: typing.Optional[str] = None
 
     def build_config(
         self,
@@ -102,13 +106,14 @@ class CaseResult:
     def comparison_row(self) -> typing.List[str]:
         """One row of the paper-vs-measured table."""
         phase = self.phase_result
-        return [
-            self.case.case_id,
-            self.case.paper.describe(),
+        measured = (
             f"MTPS={phase.mtps.mean:.2f} MFLS={phase.mfls.mean:.2f}s "
             f"NoT={phase.received.mean:.0f}/{phase.expected.mean:.0f} "
-            f"D={phase.duration.mean:.1f}s",
-        ]
+            f"D={phase.duration.mean:.1f}s"
+        )
+        if phase.received.mean == 0 and self.case.window_note:
+            measured = f"{measured} ({self.case.window_note})"
+        return [self.case.case_id, self.case.paper.describe(), measured]
 
 
 @dataclasses.dataclass

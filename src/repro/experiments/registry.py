@@ -10,6 +10,7 @@ from repro.experiments.figures import (
     fig3_heatmap,
     fig4_latency_heatmap,
 )
+from repro.experiments.resilience import resilience_leader_crash, resilience_partition
 
 _BUILDERS: typing.Dict[str, typing.Callable[[], object]] = {
     "fig3": fig3_heatmap,
@@ -22,6 +23,8 @@ _BUILDERS: typing.Dict[str, typing.Callable[[], object]] = {
     "table15_16": tables.table15_16_quorum,
     "table17_18": tables.table17_18_sawtooth,
     "table19_20": tables.table19_20_diem,
+    "resilience_leader_crash": resilience_leader_crash,
+    "resilience_partition": resilience_partition,
 }
 
 #: Every reproducible artifact, in paper order.

@@ -198,6 +198,7 @@ def table19_20_diem() -> Experiment:
                 # Get confirmations start very late; they need a nearly
                 # full window to be observable.
                 recommended_scale=0.8,
+                window_note="not observable at this scale, see REPRO_FULL_SCALE=1",
             ),
             Case(
                 case_id="RL=1600 BS=100",
@@ -205,6 +206,7 @@ def table19_20_diem() -> Experiment:
                 phase="Get",
                 paper=PaperValue(mtps=11.83, mfls=81.30, received=3887.67, expected=480000.0),
                 recommended_scale=0.6,
+                window_note="not observable at this scale, see REPRO_FULL_SCALE=1",
             ),
             Case(
                 case_id="RL=200 BS=2000",

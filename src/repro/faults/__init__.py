@@ -1,0 +1,23 @@
+"""Declarative fault injection for the simulated deployments.
+
+``repro.faults`` turns a JSON-serialisable :class:`FaultPlan` (timed
+crash/restart/partition/loss/latency actions) into scheduled events a
+:class:`FaultInjector` fires against a running system model, and
+distils the client-side effect into a :class:`ResilienceReport`
+(baseline vs dip throughput, time to recover, committed vs lost in the
+fault window). Fault-free runs never construct an injector, draw from
+its RNG stream or arm any defensive code path, so they stay
+byte-identical with the subsystem present.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.metrics import ResilienceReport
+from repro.faults.plan import ACTION_KINDS, FaultAction, FaultPlan
+
+__all__ = [
+    "ACTION_KINDS",
+    "FaultAction",
+    "FaultInjector",
+    "FaultPlan",
+    "ResilienceReport",
+]

@@ -1,0 +1,190 @@
+"""Executing a fault plan on the simulation clock.
+
+The :class:`FaultInjector` schedules every action of a
+:class:`~repro.faults.plan.FaultPlan` relative to an epoch (the phase
+start) and fires them against a running
+:class:`~repro.chains.base.SystemModel`. All of its randomness — today
+only the ``"random"`` target — comes from the dedicated ``"faults"``
+RNG stream, so a run without a plan never touches the stream and stays
+byte-identical to a run of a build without this subsystem.
+
+Targets resolve when the action fires, not when the plan is written:
+``"leader"`` asks the live system who coordinates consensus at that
+instant, and ``restart("leader")`` brings back the most recently
+crashed endpoint (the one the matching crash resolved).
+"""
+
+from __future__ import annotations
+
+import re
+import typing
+
+from repro.faults.plan import FaultAction, FaultPlan
+
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.chains.base import SystemModel
+    from repro.sim.kernel import Simulator
+
+#: Bare node-index target form, e.g. ``"n2"`` for the third node.
+_NODE_INDEX = re.compile(r"^n(\d+)$")
+
+
+class FaultInjector:
+    """Schedules and fires one plan's actions against one system."""
+
+    def __init__(self, sim: "Simulator", system: "SystemModel", plan: FaultPlan) -> None:
+        self.sim = sim
+        self.system = system
+        self.plan = plan
+        self.rng = sim.rng.stream("faults")
+        #: Chronological log of fired actions (dicts, JSON-ready).
+        self.executed: typing.List[typing.Dict[str, object]] = []
+        #: Endpoints currently down, most recent last (restart("leader")
+        #: pops from the tail).
+        self.crashed: typing.List[str] = []
+        self.epoch: float = 0.0
+        self._installed = False
+
+    def install(self, epoch: typing.Optional[float] = None) -> None:
+        """Schedule every action at ``epoch + action.at`` sim seconds.
+
+        Marks the system as running under fault injection, which arms
+        the defensive paths (e.g. Corda's flow-reply timeouts) that stay
+        cold in healthy runs.
+        """
+        if self._installed:
+            raise RuntimeError("fault plan already installed")
+        self._installed = True
+        if not self.plan:
+            return
+        self.epoch = self.sim.now if epoch is None else epoch
+        self.system.enter_fault_mode()
+        for action in self.plan:
+            fire_at = self.epoch + action.at
+            self.sim.schedule(
+                max(0.0, fire_at - self.sim.now), lambda a=action: self._fire(a)
+            )
+
+    def fault_window(self) -> typing.Optional[typing.Tuple[float, float]]:
+        """The plan's fault window in absolute sim time."""
+        window = self.plan.fault_window()
+        if window is None:
+            return None
+        return self.epoch + window[0], self.epoch + window[1]
+
+    # ------------------------------------------------------------------
+    # Target resolution
+
+    def _resolve(self, target: str) -> typing.Optional[str]:
+        """An endpoint id for ``target``, or ``None`` when unresolvable
+        (no current leader, index out of range)."""
+        if target == "leader":
+            return self.system.leader_id()
+        if target == "random":
+            return self.rng.choice(self.system.node_ids)
+        match = _NODE_INDEX.match(target)
+        if match is not None and target not in self.system.nodes:
+            index = int(match.group(1))
+            if index >= len(self.system.node_ids):
+                return None
+            return self.system.node_ids[index]
+        return target
+
+    # ------------------------------------------------------------------
+    # Firing
+
+    def _fire(self, action: FaultAction) -> None:
+        handler = getattr(self, f"_do_{action.kind}")
+        handler(action)
+
+    def _record(self, action: FaultAction, **detail: object) -> None:
+        entry: typing.Dict[str, object] = {"t": self.sim.now, "kind": action.kind}
+        entry.update(detail)
+        self.executed.append(entry)
+        tracer = self.sim.tracer
+        if tracer.enabled and tracer.wants("faults"):
+            tracer.event(f"fault.{action.kind}", category="faults", **detail)
+
+    def _do_crash(self, action: FaultAction) -> None:
+        assert action.target is not None
+        target = self._resolve(action.target)
+        if target is None or target in self.crashed:
+            self._record(action, target=target, skipped=True)
+            return
+        self.system.crash_node(target)
+        self.crashed.append(target)
+        self._record(action, target=target)
+
+    def _do_restart(self, action: FaultAction) -> None:
+        assert action.target is not None
+        if action.target == "leader":
+            # The leader role has moved on since the crash; bring back
+            # whichever endpoint went down most recently.
+            target = self.crashed[-1] if self.crashed else None
+        else:
+            target = self._resolve(action.target)
+        if target is None or target not in self.crashed:
+            self._record(action, target=target, skipped=True)
+            return
+        self.crashed.remove(target)
+        self.system.restart_node(target)
+        self._record(action, target=target)
+
+    def _do_isolate(self, action: FaultAction) -> None:
+        assert action.target is not None
+        target = self._resolve(action.target)
+        if target is None:
+            self._record(action, target=target, skipped=True)
+            return
+        self.system.network.partitions.isolate(target)
+        self._record(action, target=target)
+
+    def _do_heal(self, action: FaultAction) -> None:
+        assert action.target is not None
+        target = self._resolve(action.target)
+        if target is None:
+            self._record(action, target=target, skipped=True)
+            return
+        self.system.network.partitions.heal_endpoint(target)
+        self._record(action, target=target)
+
+    def _do_partition(self, action: FaultAction) -> None:
+        group_a = [t for t in (self._resolve(m) for m in action.group_a) if t is not None]
+        group_b = [t for t in (self._resolve(m) for m in action.group_b) if t is not None]
+        self.system.network.partitions.partition(group_a, group_b)
+        self._record(action, group_a=group_a, group_b=group_b)
+
+    def _do_heal_all(self, action: FaultAction) -> None:
+        self.system.network.partitions.heal_all()
+        self._record(action)
+
+    def _do_loss_burst(self, action: FaultAction) -> None:
+        partitions = self.system.network.partitions
+        if action.group_a and action.group_b:
+            a = self._resolve(action.group_a[0])
+            b = self._resolve(action.group_b[0])
+            if a is None or b is None:
+                self._record(action, skipped=True)
+                return
+            partitions.set_loss(a, b, action.probability)
+            self.sim.schedule(action.duration, lambda: partitions.clear_loss(a, b))
+            self._record(action, between=[a, b], probability=action.probability)
+        else:
+            previous = partitions.drop_probability
+            partitions.drop_probability = action.probability
+            self.sim.schedule(
+                action.duration,
+                lambda: setattr(partitions, "drop_probability", previous),
+            )
+            self._record(action, probability=action.probability)
+
+    def _do_latency_surge(self, action: FaultAction) -> None:
+        network = self.system.network
+        extra = action.extra_ms / 1000.0
+        network.extra_latency += extra
+
+        def subside() -> None:
+            network.extra_latency = max(0.0, network.extra_latency - extra)
+
+        self.sim.schedule(action.duration, subside)
+        self._record(action, extra_ms=action.extra_ms)

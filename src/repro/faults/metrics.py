@@ -1,0 +1,167 @@
+"""Resilience metrics derived from client-side payload records.
+
+The COCONUT client already timestamps every payload (start on submit,
+end on the all-nodes finality confirmation). Bucketing those
+confirmations into a throughput timeline around the fault window yields
+the quantities a resilience experiment reports:
+
+* **baseline** — confirmations/second before the first fault action,
+* **dip depth** — how far the worst in-window bucket falls below it,
+* **time to recover** — how long after the last fault effect ends until
+  throughput is back within a tolerance of the baseline,
+* **committed / lost in window** — payloads confirmed during the fault
+  window vs payloads submitted during it that never confirmed.
+
+Everything here is pure arithmetic over simulated timestamps, so two
+runs with the same seed and plan produce identical reports.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import typing
+
+#: Fraction of the pre-fault baseline that counts as "recovered".
+RECOVERY_TOLERANCE = 0.5
+
+
+@dataclasses.dataclass
+class ResilienceReport:
+    """What happened to throughput around one fault window."""
+
+    fault_start: float
+    fault_end: float
+    bucket_width: float
+    #: Confirmations/second per bucket, from phase start to phase end.
+    timeline: typing.List[float]
+    #: Absolute time of the first bucket's left edge.
+    timeline_start: float
+    baseline_tps: float
+    dip_tps: float
+    #: 0.0 (no dip) .. 1.0 (full outage); 0.0 when there is no baseline.
+    dip_depth: float
+    #: Seconds from fault end to sustained recovery; None = not recovered.
+    time_to_recover: typing.Optional[float]
+    sent_in_window: int
+    committed_in_window: int
+    lost_in_window: int
+
+    @property
+    def recovered(self) -> bool:
+        """Whether throughput returned after the fault window."""
+        return self.time_to_recover is not None
+
+    @classmethod
+    def from_records(
+        cls,
+        records: typing.Iterable[object],
+        *,
+        fault_start: float,
+        fault_end: float,
+        phase_start: float,
+        phase_end: float,
+        bucket_width: float = 1.0,
+        tolerance: float = RECOVERY_TOLERANCE,
+    ) -> "ResilienceReport":
+        """Build a report from client ``PayloadRecord``-shaped objects.
+
+        Records need ``start_time``, ``end_time`` and ``received``.
+        Times are absolute sim times; the fault window must lie inside
+        the phase window.
+        """
+        if bucket_width <= 0:
+            raise ValueError(f"bucket_width must be > 0, got {bucket_width}")
+        if phase_end <= phase_start:
+            raise ValueError("phase_end must be after phase_start")
+        records = list(records)
+        span = phase_end - phase_start
+        bucket_count = max(1, int(math.ceil(span / bucket_width)))
+        counts = [0] * bucket_count
+        sent_in_window = committed_in_window = lost_in_window = 0
+        pre_fault_commits = 0
+        for record in records:
+            start = typing.cast(float, getattr(record, "start_time"))
+            end = typing.cast(typing.Optional[float], getattr(record, "end_time"))
+            received = bool(getattr(record, "received"))
+            in_window = fault_start <= start <= fault_end
+            if in_window:
+                sent_in_window += 1
+                if not received:
+                    lost_in_window += 1
+            if not received or end is None:
+                continue
+            if fault_start <= end <= fault_end:
+                committed_in_window += 1
+            if end < fault_start:
+                pre_fault_commits += 1
+            index = int((end - phase_start) / bucket_width)
+            if 0 <= index < bucket_count:
+                counts[index] += 1
+        timeline = [count / bucket_width for count in counts]
+        baseline_window = max(0.0, fault_start - phase_start)
+        baseline_tps = pre_fault_commits / baseline_window if baseline_window > 0 else 0.0
+        # Worst bucket whose span intersects the fault window.
+        first_fault_bucket = max(0, int((fault_start - phase_start) / bucket_width))
+        last_fault_bucket = min(
+            bucket_count - 1, int((fault_end - phase_start) / bucket_width)
+        )
+        if first_fault_bucket <= last_fault_bucket:
+            dip_tps = min(timeline[first_fault_bucket : last_fault_bucket + 1])
+        else:
+            dip_tps = baseline_tps
+        dip_depth = 0.0
+        if baseline_tps > 0:
+            dip_depth = max(0.0, 1.0 - dip_tps / baseline_tps)
+        time_to_recover: typing.Optional[float] = None
+        if baseline_tps > 0:
+            threshold = tolerance * baseline_tps
+            first_post_bucket = int(math.ceil((fault_end - phase_start) / bucket_width))
+            for index in range(max(0, first_post_bucket), bucket_count):
+                if timeline[index] >= threshold:
+                    bucket_end = phase_start + (index + 1) * bucket_width
+                    time_to_recover = max(0.0, bucket_end - fault_end)
+                    break
+        return cls(
+            fault_start=fault_start,
+            fault_end=fault_end,
+            bucket_width=bucket_width,
+            timeline=timeline,
+            timeline_start=phase_start,
+            baseline_tps=baseline_tps,
+            dip_tps=dip_tps,
+            dip_depth=dip_depth,
+            time_to_recover=time_to_recover,
+            sent_in_window=sent_in_window,
+            committed_in_window=committed_in_window,
+            lost_in_window=lost_in_window,
+        )
+
+    def to_dict(self) -> typing.Dict[str, object]:
+        """A JSON-ready dict (stored on the phase metrics)."""
+        return {
+            "fault_start": self.fault_start,
+            "fault_end": self.fault_end,
+            "bucket_width": self.bucket_width,
+            "baseline_tps": self.baseline_tps,
+            "dip_tps": self.dip_tps,
+            "dip_depth": self.dip_depth,
+            "time_to_recover": self.time_to_recover,
+            "recovered": self.recovered,
+            "sent_in_window": self.sent_in_window,
+            "committed_in_window": self.committed_in_window,
+            "lost_in_window": self.lost_in_window,
+        }
+
+    def render(self) -> str:
+        """A short human-readable summary."""
+        recover = (
+            f"{self.time_to_recover:.1f}s" if self.time_to_recover is not None else "never"
+        )
+        return (
+            f"fault window [{self.fault_start:.1f}s, {self.fault_end:.1f}s]: "
+            f"baseline {self.baseline_tps:.2f} tps, dip {self.dip_tps:.2f} tps "
+            f"({self.dip_depth:.0%} deep), recovered {recover}; "
+            f"in-window sent={self.sent_in_window} "
+            f"committed={self.committed_in_window} lost={self.lost_in_window}"
+        )

@@ -23,6 +23,18 @@ class Host:
         self.name = name
         self.bandwidth_bps = bandwidth_bps
         self.endpoints: typing.List[str] = []
+        #: Whole-server availability. A down host takes every endpoint
+        #: placed on it off the network: sends from and deliveries to them
+        #: (including messages already in flight) are dropped.
+        self.is_up = True
+
+    def fail(self) -> None:
+        """Take the server down (all endpoints on it become unreachable)."""
+        self.is_up = False
+
+    def restore(self) -> None:
+        """Bring the server back up."""
+        self.is_up = True
 
     def attach(self, endpoint_id: str) -> None:
         """Record that ``endpoint_id`` runs on this host."""

@@ -74,6 +74,13 @@ class Network:
         self._rng = sim.rng.stream(f"network:{name}")
         self.messages_sent = 0
         self.messages_dropped = 0
+        #: Endpoints taken down by a crash fault. A down endpoint neither
+        #: sends nor receives; messages already in flight toward it are
+        #: dropped at delivery time, like a TCP connection reset.
+        self._down_endpoints: typing.Set[str] = set()
+        #: Flat latency surcharge (seconds) applied to every delivery while
+        #: a ``latency_surge`` fault is active. 0.0 means untouched delays.
+        self.extra_latency = 0.0
 
     def attach(self, endpoint: Endpoint, host: Host) -> None:
         """Register an endpoint as running on ``host``."""
@@ -102,23 +109,50 @@ class Network:
             self._links[key] = Link(src_host, dst_host, self.default_latency)
         return self._links[key]
 
+    def set_endpoint_down(self, endpoint_id: str) -> None:
+        """Mark an endpoint as crashed (no sends, deliveries dropped)."""
+        if endpoint_id not in self._endpoints:
+            raise KeyError(f"unknown endpoint {endpoint_id!r}")
+        self._down_endpoints.add(endpoint_id)
+
+    def set_endpoint_up(self, endpoint_id: str) -> None:
+        """Bring a crashed endpoint back."""
+        self._down_endpoints.discard(endpoint_id)
+
+    def endpoint_is_up(self, endpoint_id: str) -> bool:
+        """Whether an endpoint (and the host carrying it) is reachable."""
+        if endpoint_id in self._down_endpoints:
+            return False
+        host = self._endpoints[endpoint_id].host
+        return host is None or host.is_up
+
+    def _drop(self, message: Message) -> None:
+        """Account for one dropped message."""
+        self.messages_dropped += 1
+        tracer = self.sim.tracer
+        if tracer.enabled and tracer.wants("net"):
+            tracer.event(
+                "net.drop", category="net", node=message.src,
+                dst=message.dst, kind=message.kind, size=message.size_bytes,
+            )
+            tracer.metrics.counter("net.dropped", system=self.name).inc()
+
     def send(self, message: Message) -> None:
         """Route ``message``, scheduling delivery after the link delay."""
         if message.dst not in self._endpoints:
             raise KeyError(f"unknown destination {message.dst!r}")
         self.messages_sent += 1
         tracer = self.sim.tracer
+        if not (self.endpoint_is_up(message.src) and self.endpoint_is_up(message.dst)):
+            self._drop(message)
+            return
         if not self.partitions.allows(message.src, message.dst, self._rng):
-            self.messages_dropped += 1
-            if tracer.enabled and tracer.wants("net"):
-                tracer.event(
-                    "net.drop", category="net", node=message.src,
-                    dst=message.dst, kind=message.kind, size=message.size_bytes,
-                )
-                tracer.metrics.counter("net.dropped", system=self.name).inc()
+            self._drop(message)
             return
         link = self.link_between(message.src, message.dst)
         delay = link.delay(message.size_bytes, self._rng)
+        if self.extra_latency:
+            delay += self.extra_latency
         # FIFO per directed pair: clamp the arrival to be no earlier than
         # the previous message on the same pair.
         pair = (message.src, message.dst)
@@ -141,7 +175,18 @@ class Network:
             tracer.metrics.counter("net.bytes", system=self.name).inc(message.size_bytes)
             tracer.metrics.histogram("net.latency", system=self.name).record(latency)
         endpoint = self._endpoints[message.dst]
-        self.sim.schedule(arrival - self.sim.now, lambda: endpoint.on_message(message))
+        self.sim.schedule(arrival - self.sim.now, lambda: self._deliver(endpoint, message))
+
+    def _deliver(self, endpoint: Endpoint, message: Message) -> None:
+        """Hand a message to its destination — unless it crashed meanwhile.
+
+        The up-check re-runs at delivery time so that a crash drops
+        messages already in flight toward the endpoint.
+        """
+        if not self.endpoint_is_up(message.dst):
+            self._drop(message)
+            return
+        endpoint.on_message(message)
 
     def broadcast(
         self,

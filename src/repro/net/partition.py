@@ -1,9 +1,14 @@
 """Fault injection: partitions and probabilistic message loss.
 
-The benchmark runs themselves do not partition the network, but the test
-suite uses this controller to verify that the consensus engines tolerate
-(or correctly stall under) partitions and loss — e.g. that Raft loses
-liveness without a majority and recovers when the partition heals.
+The test suite uses this controller to verify that the consensus engines
+tolerate (or correctly stall under) partitions and loss — e.g. that Raft
+loses liveness without a majority and recovers when the partition heals —
+and the :mod:`repro.faults` subsystem drives it from scheduled
+:class:`~repro.faults.plan.FaultPlan` actions (``partition``, ``isolate``,
+``loss_burst``). Loss comes in two granularities: ``drop_probability``
+applies network-wide, per-pair rates (:meth:`set_loss`) affect only one
+bidirectional path. The RNG is only consulted when a rate is actually
+configured, so impairment-free runs draw nothing from the network stream.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ class PartitionController:
     def __init__(self) -> None:
         self._blocked_pairs: typing.Set[typing.Tuple[str, str]] = set()
         self._isolated: typing.Set[str] = set()
+        self._pair_loss: typing.Dict[typing.Tuple[str, str], float] = {}
         self.drop_probability = 0.0
 
     def isolate(self, endpoint_id: str) -> None:
@@ -45,15 +51,45 @@ class PartitionController:
                 self.block(a, b)
 
     def heal_all(self) -> None:
-        """Remove every partition and isolation (loss probability stays)."""
+        """Remove every partition and isolation (loss probabilities stay)."""
         self._blocked_pairs.clear()
         self._isolated.clear()
+
+    def set_loss(self, a: str, b: str, probability: float) -> None:
+        """Impair the (bidirectional) path between two endpoints.
+
+        Each message on the path is independently dropped with
+        ``probability``, on top of any network-global ``drop_probability``.
+        """
+        if not 0.0 <= probability <= 1.0:
+            raise ValueError(f"loss probability must be in [0, 1], got {probability}")
+        if probability == 0.0:
+            self.clear_loss(a, b)
+            return
+        self._pair_loss[(a, b)] = probability
+        self._pair_loss[(b, a)] = probability
+
+    def clear_loss(self, a: str, b: str) -> None:
+        """Remove the per-pair loss rate between two endpoints."""
+        self._pair_loss.pop((a, b), None)
+        self._pair_loss.pop((b, a), None)
+
+    def clear_all_loss(self) -> None:
+        """Remove every per-pair loss rate (``drop_probability`` stays)."""
+        self._pair_loss.clear()
+
+    def loss_between(self, a: str, b: str) -> float:
+        """The per-pair loss rate currently configured for a path."""
+        return self._pair_loss.get((a, b), 0.0)
 
     def allows(self, src: str, dst: str, rng: random.Random) -> bool:
         """Whether a message from ``src`` to ``dst`` may be delivered now."""
         if src in self._isolated or dst in self._isolated:
             return False
         if (src, dst) in self._blocked_pairs:
+            return False
+        pair_loss = self._pair_loss.get((src, dst)) if self._pair_loss else None
+        if pair_loss is not None and rng.random() < pair_loss:
             return False
         if self.drop_probability > 0 and rng.random() < self.drop_probability:
             return False

@@ -25,7 +25,7 @@ class Process(Event):
     process event, propagating to any process waiting on it.
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_suspended", "_pending_wake")
 
     def __init__(self, sim: "Simulator", generator: typing.Generator, name: str = "") -> None:
         if not hasattr(generator, "send"):
@@ -33,6 +33,8 @@ class Process(Event):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         self._generator = generator
         self._waiting_on: typing.Optional[Event] = None
+        self._suspended = False
+        self._pending_wake: typing.Optional[typing.Tuple[object, typing.Optional[BaseException]]] = None
         sim.schedule(0.0, lambda: self._step(None, None))
 
     @property
@@ -51,8 +53,49 @@ class Process(Event):
         self._waiting_on = None
         self.sim.schedule(0.0, lambda: self._step(None, Interrupt(cause)))
 
+    def kill(self) -> None:
+        """Terminate the process immediately, without running its body.
+
+        Unlike :meth:`interrupt`, the generator gets no chance to handle
+        anything — it is closed (``finally`` blocks still run) and the
+        process event succeeds with ``None`` so waiters are released.
+        Killing a finished process is a no-op.
+        """
+        if self.triggered:
+            return
+        self._waiting_on = None
+        self._pending_wake = None
+        self._suspended = False
+        self._generator.close()
+        self.succeed(None)
+
+    def suspend(self) -> None:
+        """Freeze the process: wakeups are buffered, not delivered.
+
+        The process stays parked at its current yield point. If its wait
+        target fires while suspended, the wakeup is held and replayed on
+        :meth:`resume` — the process observes a longer wait, not a lost
+        event. Suspending a finished process is a no-op.
+        """
+        if self.triggered:
+            return
+        self._suspended = True
+
+    def resume(self) -> None:
+        """Unfreeze a suspended process, replaying any buffered wakeup."""
+        if not self._suspended:
+            return
+        self._suspended = False
+        if self._pending_wake is not None:
+            value, exception = self._pending_wake
+            self._pending_wake = None
+            self.sim.schedule(0.0, lambda: self._step(value, exception))
+
     def _step(self, value: object, exception: typing.Optional[BaseException]) -> None:
         if self.triggered:
+            return
+        if self._suspended:
+            self._pending_wake = (value, exception)
             return
         self._waiting_on = None
         try:

@@ -5,7 +5,8 @@ records. Categories partition the instrumentation hooks by layer —
 ``sim`` (kernel dispatch), ``net`` (message events), ``consensus``
 (protocol rounds/phases), ``chain`` (block finality), ``iel`` (payload
 execution), ``storage`` (block persistence), ``client`` (per-transaction
-submit→confirm spans) and ``bench`` (phase windows). Sampling is
+submit→confirm spans), ``bench`` (phase windows) and ``faults``
+(injected failure actions). Sampling is
 deterministic — a hash of the record key, not an RNG draw — so a traced
 run stays reproducible and two runs with the same seed sample the same
 transactions.
@@ -27,6 +28,7 @@ CATEGORIES: typing.Tuple[str, ...] = (
     "storage",
     "client",
     "bench",
+    "faults",
 )
 
 #: Resolution of the deterministic sampling hash.

@@ -76,6 +76,44 @@ class TestRunCommand:
         assert "MTPS=" in capsys.readouterr().out
 
 
+class TestFaultPlanFlag:
+    def write_plan(self, tmp_path):
+        from repro.faults import FaultPlan
+
+        plan = FaultPlan().kill_leader(at=0.5).restart("leader", at=1.5)
+        path = tmp_path / "plan.json"
+        path.write_text(plan.to_json())
+        return str(path)
+
+    def test_run_with_fault_plan_prints_resilience(self, tmp_path, capsys):
+        code = main([
+            "run", "--system", "fabric", "--iel", "DoNothing",
+            "--rate", "50", "--scale", "0.02", "--faults",
+            self.write_plan(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MTPS=" in out
+        assert "resilience [" in out
+
+    def test_missing_plan_file_is_a_usage_error(self):
+        with pytest.raises(SystemExit, match="bad fault plan"):
+            main([
+                "run", "--system", "fabric", "--iel", "DoNothing",
+                "--rate", "50", "--scale", "0.02",
+                "--faults", "/nonexistent/plan.json",
+            ])
+
+    def test_malformed_plan_json_is_a_usage_error(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text('{"actions": [{"kind": "meteor", "at": 1.0}]}')
+        with pytest.raises(SystemExit, match="bad fault plan"):
+            main([
+                "run", "--system", "fabric", "--iel", "DoNothing",
+                "--rate", "50", "--scale", "0.02", "--faults", str(path),
+            ])
+
+
 class TestExperimentCommand:
     def test_experiment_runs_and_renders(self, capsys):
         code = main(["experiment", "table15_16", "--scale", "0.05"])

@@ -116,3 +116,27 @@ class TestRoundChange:
         engines[1].stop()
         pump(cluster, ticks=10, period=0.5)
         assert all(not cluster.decided_proposals(nid) for nid in cluster.node_ids)
+
+
+class TestPartitionRecovery:
+    def test_round_change_survives_partition_heal(self):
+        # During a 2|2 split neither side reaches the round-change
+        # quorum, and the one vote each validator casts is lost across
+        # the cut. Only the periodic re-broadcast from the re-armed
+        # round timer lets the group advance after the heal.
+        cluster, feed = build(n=4, round_timeout=0.5)
+        for engine in cluster.engines():
+            engine.enable_recovery()
+        ids = cluster.node_ids
+        cluster.network.partitions.partition(ids[:2], ids[2:])
+        cluster.sim.run(until=3.0)
+        assert all(e.round == 0 for e in cluster.engines())
+        cluster.network.partitions.heal_all()
+        cluster.sim.run(until=6.0)
+        assert all(e.round >= 1 for e in cluster.engines())
+        # Liveness is back: the current round's proposer commits a block.
+        feed.by_height = {0: "block-0"}
+        pump(cluster, ticks=10, period=0.5)
+        for node_id in ids:
+            assert cluster.decided_proposals(node_id) == ["block-0"]
+        cluster.assert_all_consistent()

@@ -161,6 +161,55 @@ class TestFaultTolerance:
         assert slot.proposal == "real"
 
 
+class TestPartitionRecovery:
+    def test_view_change_survives_partition_heal(self):
+        # A 2|2 split leaves neither side with a view-change quorum; the
+        # periodic vote re-broadcast must carry the change across the heal.
+        cluster, feed = build(n=4, progress_timeout=0.5)
+        for engine in cluster.engines():
+            engine.enable_recovery()
+        ids = cluster.node_ids
+        cluster.network.partitions.partition(ids[:2], ids[2:])
+        feed.items = ["stranded-block"]
+        primary_of(cluster).maybe_propose()
+        for engine in cluster.engines():
+            engine.note_pending_work()
+        cluster.sim.run(until=5.0)
+        assert all(e.view == 0 for e in cluster.engines())
+        assert all(not cluster.decided_proposals(nid) for nid in ids)
+        cluster.network.partitions.heal_all()
+        cluster.sim.run(until=10.0)
+        assert all(e.view >= 1 for e in cluster.engines())
+        # The new primary re-drives: fresh proposals commit everywhere.
+        feed.items = ["post-heal-block"] * 4
+        for i in range(8):
+            cluster.sim.schedule(0.1 * i, lambda: primary_of(cluster).maybe_propose())
+        cluster.sim.run(until=15.0)
+        for node_id in ids:
+            assert "post-heal-block" in cluster.decided_proposals(node_id)
+        cluster.assert_all_consistent()
+
+    def test_isolated_backup_pulls_missed_decisions(self):
+        # A backup cut off (not crashed) never runs recover(); the gap
+        # between its executed watermark and incoming traffic must
+        # trigger a sync on its own.
+        cluster, feed = build(n=4)
+        for engine in cluster.engines():
+            engine.enable_recovery()
+        victim = cluster.node_ids[-1]
+        assert not cluster.nodes[victim].engine.is_primary
+        cluster.network.partitions.isolate(victim)
+        feed.items = [f"block-{i}" for i in range(12)]
+        pump(cluster, times=12)
+        assert cluster.decided_proposals(victim) == []
+        cluster.network.partitions.heal_endpoint(victim)
+        feed.items = ["block-12"]
+        cluster.sim.schedule(0.1, lambda: primary_of(cluster).maybe_propose())
+        cluster.sim.run(until=cluster.sim.now + 10.0)
+        assert cluster.decided_proposals(victim) == [f"block-{i}" for i in range(13)]
+        cluster.assert_all_consistent()
+
+
 class TestSafetyProperty:
     def test_replicas_never_diverge_under_random_crashes(self):
         # Crash-and-recover backups at random while proposals flow; all

@@ -19,6 +19,7 @@ class TestRegistry:
             "fig3", "fig4", "fig5",
             "table7_8", "table9_10", "table11_12", "table13_14",
             "table15_16", "table17_18", "table19_20",
+            "resilience_leader_crash", "resilience_partition",
         }
 
     def test_unknown_experiment(self):

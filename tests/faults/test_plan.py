@@ -1,0 +1,137 @@
+"""Tests for fault plans: builders, validation, JSON round-trips."""
+
+import pytest
+
+from repro.faults import ACTION_KINDS, FaultAction, FaultPlan
+
+
+class TestBuilders:
+    def test_fluent_chaining(self):
+        plan = (
+            FaultPlan()
+            .crash("n0", at=5.0)
+            .restart("n0", at=10.0)
+            .latency_surge(extra_ms=40.0, duration=2.0, at=12.0)
+        )
+        assert len(plan) == 3
+        assert [a.kind for a in plan] == ["crash", "restart", "latency_surge"]
+
+    def test_kill_leader_is_a_crash_of_leader(self):
+        plan = FaultPlan().kill_leader(at=3.0)
+        action = next(iter(plan))
+        assert action.kind == "crash"
+        assert action.target == "leader"
+
+    def test_iteration_sorted_by_time(self):
+        plan = FaultPlan().heal("n1", at=9.0).isolate("n1", at=4.0)
+        assert [a.kind for a in plan] == ["isolate", "heal"]
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan()
+        assert FaultPlan().fault_window() is None
+
+    def test_fault_window_spans_first_action_to_last_effect(self):
+        plan = (
+            FaultPlan()
+            .crash("n0", at=5.0)
+            .loss_burst(probability=0.5, duration=8.0, at=6.0)
+        )
+        assert plan.fault_window() == (5.0, 14.0)
+
+    def test_pairwise_loss_burst_records_the_pair(self):
+        plan = FaultPlan().loss_burst(
+            probability=0.3, duration=2.0, at=1.0, between=("n0", "n1")
+        )
+        action = next(iter(plan))
+        assert action.group_a == ("n0",)
+        assert action.group_b == ("n1",)
+
+
+class TestValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError):
+            FaultAction(kind="meteor", at=0.0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError):
+            FaultAction(kind="heal_all", at=-1.0)
+
+    @pytest.mark.parametrize("kind", ["crash", "restart", "isolate", "heal"])
+    def test_targeted_kinds_require_target(self, kind):
+        with pytest.raises(ValueError):
+            FaultAction(kind=kind, at=0.0)
+
+    def test_partition_requires_both_groups(self):
+        with pytest.raises(ValueError):
+            FaultAction(kind="partition", at=0.0, group_a=("n0",))
+
+    @pytest.mark.parametrize("probability", [0.0, 1.5, -0.2])
+    def test_loss_burst_probability_bounds(self, probability):
+        with pytest.raises(ValueError):
+            FaultAction(
+                kind="loss_burst", at=0.0, probability=probability, duration=1.0
+            )
+
+    def test_loss_burst_requires_duration(self):
+        with pytest.raises(ValueError):
+            FaultAction(kind="loss_burst", at=0.0, probability=0.5, duration=0.0)
+
+    def test_latency_surge_requires_positive_extra(self):
+        with pytest.raises(ValueError):
+            FaultAction(kind="latency_surge", at=0.0, extra_ms=0.0, duration=1.0)
+
+    def test_every_kind_is_constructible(self):
+        # Guard against ACTION_KINDS and the validators drifting apart.
+        samples = {
+            "crash": dict(target="n0"),
+            "restart": dict(target="n0"),
+            "isolate": dict(target="n0"),
+            "heal": dict(target="n0"),
+            "partition": dict(group_a=("n0",), group_b=("n1",)),
+            "heal_all": {},
+            "loss_burst": dict(probability=0.5, duration=1.0),
+            "latency_surge": dict(extra_ms=10.0, duration=1.0),
+        }
+        assert set(samples) == set(ACTION_KINDS)
+        for kind, kwargs in samples.items():
+            FaultAction(kind=kind, at=0.0, **kwargs)
+
+
+class TestSerialisation:
+    def round_trip(self, plan):
+        return FaultPlan.from_json(plan.to_json())
+
+    def test_round_trip_preserves_actions(self):
+        plan = (
+            FaultPlan()
+            .kill_leader(at=2.5)
+            .restart("leader", at=7.5)
+            .partition(["n0", "n1"], ["n2", "n3"], at=9.0)
+            .heal_all(at=12.0)
+            .loss_burst(probability=0.25, duration=3.0, at=13.0, between=("n0", "n2"))
+            .latency_surge(extra_ms=50.0, duration=4.0, at=14.0)
+        )
+        restored = self.round_trip(plan)
+        assert list(restored) == list(plan)
+
+    def test_to_dict_is_sparse(self):
+        action = FaultAction(kind="heal_all", at=1.0)
+        assert action.to_dict() == {"kind": "heal_all", "at": 1.0}
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError):
+            FaultAction.from_dict({"kind": "crash", "at": 0.0, "target": "n0",
+                                   "blast_radius": 3})
+
+    def test_from_json_requires_actions_key(self):
+        with pytest.raises(ValueError):
+            FaultPlan.from_json('{"events": []}')
+        with pytest.raises(ValueError):
+            FaultPlan.from_json('{"actions": {}}')
+
+    def test_from_json_file(self, tmp_path):
+        path = tmp_path / "plan.json"
+        path.write_text(FaultPlan().crash("n2", at=1.0).to_json())
+        plan = FaultPlan.from_json_file(str(path))
+        assert len(plan) == 1
+        assert next(iter(plan)).target == "n2"
