@@ -17,7 +17,8 @@ Sub-packages: :mod:`repro.sim` (simulation kernel), :mod:`repro.net`
 :mod:`repro.consensus` (six protocol engines), :mod:`repro.iel` (smart
 contracts), :mod:`repro.chains` (the seven system models),
 :mod:`repro.coconut` (the benchmarking framework),
-:mod:`repro.experiments` (every paper table and figure) and
+:mod:`repro.experiments` (every paper table and figure),
+:mod:`repro.parallel` (multi-process execution + result caching) and
 :mod:`repro.analysis`.
 """
 
@@ -25,16 +26,27 @@ from repro.chains import DeploymentSpec, SYSTEM_NAMES, create_system
 from repro.coconut import BenchmarkConfig, BenchmarkRunner, ResultStore
 from repro.experiments import EXPERIMENT_IDS, build_experiment
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.parallel import (  # noqa: E402 - needs __version__ for fingerprints
+    ParallelExecutor,
+    ResultCache,
+    SerialExecutor,
+    build_executor,
+)
 
 __all__ = [
     "BenchmarkConfig",
     "BenchmarkRunner",
     "DeploymentSpec",
     "EXPERIMENT_IDS",
+    "ParallelExecutor",
+    "ResultCache",
     "ResultStore",
+    "SerialExecutor",
     "SYSTEM_NAMES",
     "__version__",
+    "build_executor",
     "build_experiment",
     "create_system",
 ]

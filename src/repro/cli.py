@@ -121,10 +121,27 @@ def _export_trace(tracer, args: argparse.Namespace) -> None:
     print(render_span_stats(tracer, top=8))
 
 
+def _build_executor(args: argparse.Namespace):
+    """The executor ``--jobs``/``--cache-dir`` describe (None = legacy serial)."""
+    if args.jobs == 1 and not args.cache_dir:
+        return None
+    if args.jobs < 1:
+        raise SystemExit(f"--jobs must be >= 1, got {args.jobs}")
+    from repro.parallel import build_executor
+
+    return build_executor(jobs=args.jobs, cache_dir=args.cache_dir,
+                          progress=print if args.verbose else None)
+
+
 def _cmd_experiment(args: argparse.Namespace) -> int:
     experiment = build_experiment(args.experiment_id)
-    runner = BenchmarkRunner(progress=print if args.verbose else None)
-    kwargs: typing.Dict[str, object] = {"runner": runner}
+    executor = _build_executor(args)
+    kwargs: typing.Dict[str, object] = {}
+    if executor is not None:
+        kwargs["executor"] = executor
+    else:
+        kwargs["runner"] = BenchmarkRunner(progress=print if args.verbose else None,
+                                           keep_last_rig=False)
     if args.scale is not None:
         kwargs["scale"] = args.scale
     if args.systems and hasattr(experiment, "run"):
@@ -134,15 +151,23 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
             kwargs["systems"] = args.systems.split(",")
     run = experiment.run(**kwargs)
     print(run.render())
+    if executor is not None:
+        print(executor.summary())
     return 0
 
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     sweep = build_sweep(args.sweep_id)
-    runner = BenchmarkRunner(progress=print if args.verbose else None,
-                             keep_last_rig=False)
-    run = sweep.run(runner=runner, scale=args.scale)
+    executor = _build_executor(args)
+    if executor is not None:
+        run = sweep.run(executor=executor, scale=args.scale)
+    else:
+        runner = BenchmarkRunner(progress=print if args.verbose else None,
+                                 keep_last_rig=False)
+        run = sweep.run(runner=runner, scale=args.scale)
     print(run.render())
+    if executor is not None:
+        print(executor.summary())
     return 0
 
 
@@ -203,6 +228,14 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("experiment_id", choices=EXPERIMENT_IDS)
     experiment_parser.add_argument("--scale", type=float, default=None)
     experiment_parser.add_argument("--systems", help="comma-separated subset (figures only)")
+    experiment_parser.add_argument("--jobs", type=int, default=1,
+                                   help="worker processes for independent cases "
+                                        "(1 = in-process; results are identical "
+                                        "for any jobs count)")
+    experiment_parser.add_argument("--cache-dir", metavar="PATH",
+                                   help="content-addressed result cache: cases whose "
+                                        "config fingerprint is already stored are "
+                                        "not re-run")
     experiment_parser.add_argument("--verbose", action="store_true")
     experiment_parser.set_defaults(handler=_cmd_experiment)
 
@@ -211,6 +244,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("sweep_id", choices=sorted(SWEEPS))
     sweep_parser.add_argument("--scale", type=float, default=None)
+    sweep_parser.add_argument("--jobs", type=int, default=1,
+                              help="worker processes for independent sweep points")
+    sweep_parser.add_argument("--cache-dir", metavar="PATH",
+                              help="content-addressed result cache directory")
     sweep_parser.add_argument("--verbose", action="store_true")
     sweep_parser.set_defaults(handler=_cmd_sweep)
 

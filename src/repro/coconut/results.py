@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
 import pathlib
 import typing
@@ -114,8 +115,17 @@ class ResultStore:
         self.directory.mkdir(parents=True, exist_ok=True)
 
     def path_for(self, label: str) -> pathlib.Path:
-        """File path of one result."""
+        """File path of one result.
+
+        Sanitisation alone maps distinct labels to one file (``rate:100``
+        and ``rate_100`` both become ``rate_100``), silently overwriting
+        results; whenever a character was replaced, a short hash of the
+        original label is appended to keep paths collision-free.
+        """
         safe = "".join(ch if ch.isalnum() or ch in "-_." else "_" for ch in label)
+        if safe != label:
+            digest = hashlib.sha256(label.encode("utf-8")).hexdigest()[:8]
+            safe = f"{safe}-{digest}"
         return self.directory / f"{safe}.json"
 
     def save(self, result: UnitResult) -> pathlib.Path:

@@ -50,6 +50,9 @@ class BenchmarkRunner:
 
     def run(self, config: BenchmarkConfig) -> UnitResult:
         """Run one benchmark unit, all repetitions, all phases."""
+        # Cleared unconditionally: a reused runner must not report the
+        # previous unit's resilience data after a healthy run.
+        self.last_resilience = {}
         phases = config.phase_sequence
         per_phase: typing.Dict[str, typing.List[PhaseMetrics]] = {p: [] for p in phases}
         for repetition in range(config.repetitions):
@@ -145,5 +148,16 @@ class BenchmarkRunner:
         self.progress(f"  {phase} resilience: {report.render()}")
 
     def run_many(self, configs: typing.Iterable[BenchmarkConfig]) -> typing.List[UnitResult]:
-        """Run a parameter sweep."""
-        return [self.run(config) for config in configs]
+        """Run a batch of units, dropping rigs between them.
+
+        Multi-unit drivers never keep rigs: retaining one full simulated
+        deployment per unit accumulates every deployment in memory over
+        a batch. ``keep_last_rig`` is restored afterwards so a reused
+        runner keeps its single-unit behaviour.
+        """
+        keep = self.keep_last_rig
+        self.keep_last_rig = False
+        try:
+            return [self.run(config) for config in configs]
+        finally:
+            self.keep_last_rig = keep

@@ -23,6 +23,9 @@ from repro.coconut.config import BenchmarkConfig
 from repro.coconut.results import PhaseResult
 from repro.coconut.runner import BenchmarkRunner
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.executor import Executor
+
 
 @dataclasses.dataclass(frozen=True)
 class PaperValue:
@@ -73,14 +76,24 @@ class Case:
         elif scale is not None:
             effective_scale = scale
         elif env_scale:
-            effective_scale = float(env_scale)
+            try:
+                effective_scale = float(env_scale)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_SCALE must be a number in (0, 1], got {env_scale!r}"
+                ) from None
         else:
             effective_scale = self.recommended_scale
         env_reps = os.environ.get("REPRO_REPS")
         if repetitions is not None:
             effective_reps = repetitions
         elif env_reps:
-            effective_reps = int(env_reps)
+            try:
+                effective_reps = int(env_reps)
+            except ValueError:
+                raise ValueError(
+                    f"REPRO_REPS must be a positive integer, got {env_reps!r}"
+                ) from None
         else:
             effective_reps = self.recommended_repetitions
         return BenchmarkConfig(
@@ -159,16 +172,34 @@ class Experiment:
         scale: typing.Optional[float] = None,
         repetitions: typing.Optional[int] = None,
         case_filter: typing.Optional[typing.Callable[[Case], bool]] = None,
+        executor: typing.Optional["Executor"] = None,
     ) -> ExperimentRun:
-        """Execute (a subset of) the experiment's cases."""
-        runner = runner or BenchmarkRunner()
-        case_results = []
-        for case in self.cases:
-            if case_filter is not None and not case_filter(case):
-                continue
-            config = case.build_config(scale=scale, repetitions=repetitions)
-            unit = runner.run(config)
-            case_results.append(CaseResult(case=case, phase_result=unit.phase(case.phase)))
+        """Execute (a subset of) the experiment's cases.
+
+        With an ``executor`` the cases fan out over its worker pool and
+        result cache; otherwise they run serially through ``runner``.
+        Both paths produce byte-identical per-case results — each case
+        owns its seeded RNG streams.
+        """
+        selected = [
+            case
+            for case in self.cases
+            if case_filter is None or case_filter(case)
+        ]
+        configs = [
+            case.build_config(scale=scale, repetitions=repetitions) for case in selected
+        ]
+        if executor is not None:
+            units = [outcome.result for outcome in executor.run_units(configs)]
+        else:
+            # Experiments run many units back to back; like sweeps, they
+            # must not accumulate one retained rig per case.
+            runner = runner or BenchmarkRunner(keep_last_rig=False)
+            units = runner.run_many(configs)
+        case_results = [
+            CaseResult(case=case, phase_result=unit.phase(case.phase))
+            for case, unit in zip(selected, units)
+        ]
         return ExperimentRun(
             experiment_id=self.experiment_id, title=self.title, case_results=case_results
         )

@@ -21,6 +21,9 @@ from repro.coconut.runner import BenchmarkRunner
 from repro.experiments.base import PaperValue
 from repro.net.latency import EUROPEAN_WAN_LATENCY, LatencyModel
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.executor import Executor
+
 #: The benchmark rows of the heat maps, in figure order.
 BENCHMARK_ROWS: typing.Tuple[typing.Tuple[str, str], ...] = (
     ("DoNothing", "DoNothing"),
@@ -151,12 +154,12 @@ class HeatmapExperiment:
         scale: typing.Optional[float] = None,
         repetitions: int = 1,
         seed: int = 34,
+        executor: typing.Optional["Executor"] = None,
     ) -> GridRun:
         """Run one unit per (system, IEL) and collect every phase."""
-        runner = runner or BenchmarkRunner()
         systems = tuple(systems or SYSTEM_NAMES)
         iels = tuple(iels or ("DoNothing", "KeyValue", "BankingApp"))
-        cells: typing.Dict[typing.Tuple[str, str], PhaseResult] = {}
+        specs: typing.List[typing.Tuple[str, str, BenchmarkConfig]] = []
         for system in systems:
             for iel in iels:
                 for kwargs in best_config_variants(system, iel):
@@ -169,12 +172,19 @@ class HeatmapExperiment:
                         seed=seed,
                         **kwargs,
                     )
-                    unit = runner.run(config)
-                    for phase in unit_for_iel(iel):
-                        candidate = unit.phase(phase)
-                        incumbent = cells.get((phase, system))
-                        if incumbent is None or candidate.mtps.mean > incumbent.mtps.mean:
-                            cells[(phase, system)] = candidate
+                    specs.append((system, iel, config))
+        if executor is not None:
+            units = [o.result for o in executor.run_units([c for __, __, c in specs])]
+        else:
+            runner = runner or BenchmarkRunner(keep_last_rig=False)
+            units = runner.run_many([config for __, __, config in specs])
+        cells: typing.Dict[typing.Tuple[str, str], PhaseResult] = {}
+        for (system, iel, __), unit in zip(specs, units):
+            for phase in unit_for_iel(iel):
+                candidate = unit.phase(phase)
+                incumbent = cells.get((phase, system))
+                if incumbent is None or candidate.mtps.mean > incumbent.mtps.mean:
+                    cells[(phase, system)] = candidate
         return GridRun(
             experiment_id=self.experiment_id,
             title=self.title,
@@ -324,11 +334,11 @@ class ScalabilityExperiment:
         node_counts: typing.Sequence[int] = (8, 16, 32),
         scale: typing.Optional[float] = None,
         seed: int = 58,
+        executor: typing.Optional["Executor"] = None,
     ) -> ScalabilityRun:
         """Run DoNothing at each network size (same settings as 5.8.1)."""
-        runner = runner or BenchmarkRunner()
         systems = tuple(systems or SYSTEM_NAMES)
-        cells: typing.Dict[typing.Tuple[str, int], PhaseResult] = {}
+        specs: typing.List[typing.Tuple[str, int, BenchmarkConfig]] = []
         for system in systems:
             for node_count in node_counts:
                 config = BenchmarkConfig(
@@ -341,6 +351,13 @@ class ScalabilityExperiment:
                     seed=seed,
                     **best_config_kwargs(system),
                 )
-                unit = runner.run(config)
-                cells[(system, node_count)] = unit.phase("DoNothing")
+                specs.append((system, node_count, config))
+        if executor is not None:
+            units = [o.result for o in executor.run_units([c for __, __, c in specs])]
+        else:
+            runner = runner or BenchmarkRunner(keep_last_rig=False)
+            units = runner.run_many([config for __, __, config in specs])
+        cells: typing.Dict[typing.Tuple[str, int], PhaseResult] = {}
+        for (system, node_count, __), unit in zip(specs, units):
+            cells[(system, node_count)] = unit.phase("DoNothing")
         return ScalabilityRun(cells=cells, node_counts=tuple(node_counts), systems=systems)

@@ -16,13 +16,7 @@ _BUILDERS: typing.Dict[str, typing.Callable[[], object]] = {
     "fig3": fig3_heatmap,
     "fig4": fig4_latency_heatmap,
     "fig5": ScalabilityExperiment,
-    "table7_8": tables.table7_8_corda_os,
-    "table9_10": tables.table9_10_corda_enterprise,
-    "table11_12": tables.table11_12_bitshares,
-    "table13_14": tables.table13_14_fabric,
-    "table15_16": tables.table15_16_quorum,
-    "table17_18": tables.table17_18_sawtooth,
-    "table19_20": tables.table19_20_diem,
+    **tables.TABLE_BUILDERS,
     "resilience_leader_crash": resilience_leader_crash,
     "resilience_partition": resilience_partition,
 }

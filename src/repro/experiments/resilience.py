@@ -34,6 +34,9 @@ from repro.coconut.results import PhaseResult
 from repro.coconut.runner import BenchmarkRunner
 from repro.faults import FaultPlan, ResilienceReport
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.executor import Executor
+
 #: Payloads/second per client — low enough that every system runs well
 #: below saturation (Quorum's selection stall, Sawtooth's admission
 #: contention and Corda's overload knee all stay dormant).
@@ -165,10 +168,10 @@ class ResilienceExperiment:
         systems: typing.Optional[typing.Sequence[str]] = None,
         scale: typing.Optional[float] = None,
         seed: int = 61,
+        executor: typing.Optional["Executor"] = None,
     ) -> ResilienceRun:
-        runner = runner or BenchmarkRunner()
         systems = tuple(systems or SYSTEM_NAMES)
-        rows: typing.List[ResilienceRow] = []
+        specs: typing.List[typing.Tuple[str, str, BenchmarkConfig]] = []
         for system in systems:
             for scenario, plan_factory in self.scenarios:
                 config = BenchmarkConfig(
@@ -180,6 +183,22 @@ class ResilienceExperiment:
                     seed=seed,
                 )
                 config.fault_plan = plan_factory(config)
+                specs.append((system, scenario, config))
+        rows: typing.List[ResilienceRow] = []
+        if executor is not None:
+            outcomes = executor.run_units([config for __, __, config in specs])
+            for (system, scenario, __), outcome in zip(specs, outcomes):
+                rows.append(
+                    ResilienceRow(
+                        system=system,
+                        scenario=scenario,
+                        phase_result=outcome.result.phase("DoNothing"),
+                        report=outcome.resilience.get("DoNothing"),
+                    )
+                )
+        else:
+            runner = runner or BenchmarkRunner(keep_last_rig=False)
+            for system, scenario, config in specs:
                 unit = runner.run(config)
                 rows.append(
                     ResilienceRow(

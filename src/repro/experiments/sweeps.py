@@ -18,6 +18,9 @@ from repro.coconut.config import BenchmarkConfig
 from repro.coconut.results import PhaseResult
 from repro.coconut.runner import BenchmarkRunner
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.executor import Executor
+
 
 @dataclasses.dataclass
 class SweepPoint:
@@ -86,32 +89,50 @@ class ParameterSweep:
     is_system_param: bool = True
     recommended_scale: float = 0.1
 
+    def build_config(
+        self,
+        value: object,
+        scale: typing.Optional[float] = None,
+        repetitions: int = 1,
+    ) -> BenchmarkConfig:
+        """The benchmark configuration of one swept setting."""
+        kwargs = dict(self.config_kwargs)
+        if self.is_system_param:
+            params = dict(typing.cast(dict, kwargs.get("params", {})))
+            params[self.parameter] = value
+            kwargs["params"] = params
+        else:
+            kwargs[self.parameter] = value
+        return BenchmarkConfig(
+            scale=scale if scale is not None else self.recommended_scale,
+            repetitions=repetitions,
+            **kwargs,
+        )
+
     def run(
         self,
         runner: typing.Optional[BenchmarkRunner] = None,
         scale: typing.Optional[float] = None,
         repetitions: int = 1,
+        executor: typing.Optional["Executor"] = None,
     ) -> SweepRun:
-        """Execute the sweep."""
-        # Sweeps run many units back to back; retaining each unit's full
-        # simulated rig would accumulate every deployment in memory.
-        runner = runner or BenchmarkRunner(keep_last_rig=False)
-        points = []
-        for value in self.values:
-            kwargs = dict(self.config_kwargs)
-            if self.is_system_param:
-                params = dict(typing.cast(dict, kwargs.get("params", {})))
-                params[self.parameter] = value
-                kwargs["params"] = params
-            else:
-                kwargs[self.parameter] = value
-            config = BenchmarkConfig(
-                scale=scale if scale is not None else self.recommended_scale,
-                repetitions=repetitions,
-                **kwargs,
-            )
-            unit = runner.run(config)
-            points.append(SweepPoint(value=value, phase_result=unit.phase(self.phase)))
+        """Execute the sweep, optionally fanning points out over an executor."""
+        configs = [
+            self.build_config(value, scale=scale, repetitions=repetitions)
+            for value in self.values
+        ]
+        if executor is not None:
+            units = [outcome.result for outcome in executor.run_units(configs)]
+        else:
+            # Sweeps run many units back to back; retaining each unit's
+            # full simulated rig would accumulate every deployment in
+            # memory (run_many drops rigs).
+            runner = runner or BenchmarkRunner(keep_last_rig=False)
+            units = runner.run_many(configs)
+        points = [
+            SweepPoint(value=value, phase_result=unit.phase(self.phase))
+            for value, unit in zip(self.values, units)
+        ]
         return SweepRun(
             sweep_id=self.sweep_id,
             title=self.title,

@@ -153,6 +153,31 @@ class ResilienceReport:
             "lost_in_window": self.lost_in_window,
         }
 
+    @classmethod
+    def from_dict(cls, data: typing.Mapping[str, object]) -> "ResilienceReport":
+        """Rebuild a report from :meth:`to_dict` output.
+
+        The bucket timeline is not serialised (it scales with the phase
+        window); a reconstructed report carries an empty timeline but
+        every scalar the resilience tables render.
+        """
+        return cls(
+            fault_start=typing.cast(float, data["fault_start"]),
+            fault_end=typing.cast(float, data["fault_end"]),
+            bucket_width=typing.cast(float, data["bucket_width"]),
+            timeline=list(typing.cast(typing.List[float], data.get("timeline", []))),
+            timeline_start=typing.cast(float, data.get("timeline_start", 0.0)),
+            baseline_tps=typing.cast(float, data["baseline_tps"]),
+            dip_tps=typing.cast(float, data["dip_tps"]),
+            dip_depth=typing.cast(float, data["dip_depth"]),
+            time_to_recover=typing.cast(
+                typing.Optional[float], data.get("time_to_recover")
+            ),
+            sent_in_window=typing.cast(int, data["sent_in_window"]),
+            committed_in_window=typing.cast(int, data["committed_in_window"]),
+            lost_in_window=typing.cast(int, data["lost_in_window"]),
+        )
+
     def render(self) -> str:
         """A short human-readable summary."""
         recover = (

@@ -1,0 +1,33 @@
+"""Parallel benchmark execution with content-addressed result caching.
+
+Independent benchmark units (experiment cases, sweep points, resilience
+scenarios) fan out over a ``multiprocessing`` pool and/or skip execution
+entirely when a prior run with an identical fingerprint is cached.
+Determinism guarantee: for any jobs count, per-unit results are
+byte-identical to the serial path — every unit owns its seeded RNG
+streams and workers rebuild rigs from the same picklable config.
+"""
+
+from repro.parallel.cache import CachedUnit, ResultCache
+from repro.parallel.executor import (
+    Executor,
+    ParallelExecutor,
+    SerialExecutor,
+    UnitOutcome,
+    build_executor,
+    execute_unit,
+)
+from repro.parallel.fingerprint import config_payload, unit_fingerprint
+
+__all__ = [
+    "CachedUnit",
+    "Executor",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "UnitOutcome",
+    "build_executor",
+    "config_payload",
+    "execute_unit",
+    "unit_fingerprint",
+]

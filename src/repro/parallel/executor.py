@@ -1,0 +1,208 @@
+"""Executors: fan independent benchmark units out over worker processes.
+
+The paper's COCONUT framework distributes benchmark execution across
+client hosts (Section 4.3); here the analogous lever is running
+independent *units* — experiment cases, sweep points, resilience
+scenarios — concurrently. Each unit already owns its seeded RNG streams
+(the rig is rebuilt per repetition from ``seed``), so units share no
+state and the fan-out cannot change any result: a worker receives a
+picklable :class:`~repro.coconut.config.BenchmarkConfig`, rebuilds the
+rig exactly as the serial path would, and sends back JSON-ready dicts.
+For any jobs count the per-unit output is byte-identical to a serial
+run, which ``tests/parallel/test_executor.py`` asserts.
+
+Both executors optionally consult a
+:class:`~repro.parallel.cache.ResultCache`: units whose fingerprint is
+already stored are not re-run at all.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import multiprocessing
+import typing
+
+from repro.coconut.config import BenchmarkConfig
+from repro.coconut.results import UnitResult
+from repro.coconut.runner import BenchmarkRunner
+from repro.faults.metrics import ResilienceReport
+from repro.parallel.cache import ResultCache
+from repro.parallel.fingerprint import unit_fingerprint
+
+
+@dataclasses.dataclass
+class UnitOutcome:
+    """One executed (or cache-restored) benchmark unit."""
+
+    config: BenchmarkConfig
+    result: UnitResult
+    #: Phase -> report for phases the unit's fault plan touched.
+    resilience: typing.Dict[str, ResilienceReport]
+    cached: bool = False
+    fingerprint: typing.Optional[str] = None
+
+
+def execute_unit(config: BenchmarkConfig) -> typing.Dict[str, typing.Any]:
+    """Run one unit in the current process; returns JSON-ready payloads.
+
+    This is the single execution path shared by serial and pooled
+    executors (and the function workers run), so every mode produces
+    identical payloads. Workers never pickle a rig back — the runner
+    drops rigs and only dicts cross the process boundary.
+    """
+    runner = BenchmarkRunner(keep_last_rig=False)
+    result = runner.run(config)
+    return {
+        "unit": result.to_dict(),
+        "resilience": {
+            phase: report.to_dict() for phase, report in runner.last_resilience.items()
+        },
+    }
+
+
+def _pool_entry(
+    item: typing.Tuple[int, BenchmarkConfig]
+) -> typing.Tuple[int, typing.Dict[str, typing.Any]]:
+    """Worker entry point: (index, config) -> (index, payload)."""
+    index, config = item
+    return index, execute_unit(config)
+
+
+class Executor:
+    """Base executor: cache bookkeeping plus aggregated progress."""
+
+    #: Worker processes used for cache misses (1 = in-process).
+    jobs = 1
+
+    def __init__(
+        self,
+        cache: typing.Optional[ResultCache] = None,
+        progress: typing.Optional[typing.Callable[[str], None]] = None,
+    ) -> None:
+        self.cache = cache
+        self.progress = progress or (lambda message: None)
+        #: Units actually executed across this executor's lifetime.
+        self.ran = 0
+        #: Units restored from the cache instead of executed.
+        self.from_cache = 0
+
+    def run_units(
+        self, configs: typing.Iterable[BenchmarkConfig]
+    ) -> typing.List[UnitOutcome]:
+        """Run every unit, restoring cache hits; preserves input order."""
+        configs = list(configs)
+        total = len(configs)
+        outcomes: typing.List[typing.Optional[UnitOutcome]] = [None] * total
+        fingerprints: typing.List[typing.Optional[str]] = [None] * total
+        pending: typing.List[typing.Tuple[int, BenchmarkConfig]] = []
+        done = 0
+        for index, config in enumerate(configs):
+            if self.cache is not None:
+                fingerprints[index] = unit_fingerprint(config)
+                hit = self.cache.get(fingerprints[index])
+                if hit is not None:
+                    outcomes[index] = UnitOutcome(
+                        config=config,
+                        result=hit.result,
+                        resilience=hit.resilience,
+                        cached=True,
+                        fingerprint=fingerprints[index],
+                    )
+                    self.from_cache += 1
+                    done += 1
+                    self.progress(f"[{done}/{total}] {config.label()} (cached)")
+                    continue
+            pending.append((index, config))
+        for index, payload in self._execute(pending):
+            config = configs[index]
+            resilience = {
+                phase: ResilienceReport.from_dict(report)
+                for phase, report in payload["resilience"].items()
+            }
+            result = UnitResult.from_dict(payload["unit"])
+            if self.cache is not None and fingerprints[index] is not None:
+                self.cache.put(fingerprints[index], result, resilience)
+            outcomes[index] = UnitOutcome(
+                config=config,
+                result=result,
+                resilience=resilience,
+                cached=False,
+                fingerprint=fingerprints[index],
+            )
+            self.ran += 1
+            done += 1
+            self.progress(f"[{done}/{total}] {config.label()}")
+        return typing.cast(typing.List[UnitOutcome], outcomes)
+
+    def _execute(
+        self, pending: typing.Sequence[typing.Tuple[int, BenchmarkConfig]]
+    ) -> typing.Iterator[typing.Tuple[int, typing.Dict[str, typing.Any]]]:
+        """Yield (index, payload) for every pending unit, any order."""
+        raise NotImplementedError
+
+    def summary(self) -> str:
+        """One-line accounting for CLI output."""
+        text = f"executor: {self.ran} ran, {self.from_cache} cached (jobs={self.jobs})"
+        if self.cache is not None:
+            text += f"; {self.cache.summary()}"
+        return text
+
+
+class SerialExecutor(Executor):
+    """Runs units one after another in the current process."""
+
+    def _execute(self, pending):
+        for index, config in pending:
+            yield index, execute_unit(config)
+
+
+class ParallelExecutor(Executor):
+    """Fans units out over a multiprocessing worker pool.
+
+    Workers rebuild the rig from the pickled config and return plain
+    dicts; completion order is arbitrary but results are re-sequenced by
+    index, so output order (and content) matches the serial path.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 2,
+        cache: typing.Optional[ResultCache] = None,
+        progress: typing.Optional[typing.Callable[[str], None]] = None,
+        mp_context: typing.Optional[multiprocessing.context.BaseContext] = None,
+    ) -> None:
+        super().__init__(cache=cache, progress=progress)
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self._mp_context = mp_context
+
+    def _context(self) -> multiprocessing.context.BaseContext:
+        if self._mp_context is not None:
+            return self._mp_context
+        try:
+            # Fork is cheapest where available (no re-import per worker).
+            return multiprocessing.get_context("fork")
+        except ValueError:  # pragma: no cover - non-POSIX platforms
+            return multiprocessing.get_context("spawn")
+
+    def _execute(self, pending):
+        if self.jobs == 1 or len(pending) <= 1:
+            for index, config in pending:
+                yield index, execute_unit(config)
+            return
+        with self._context().Pool(processes=min(self.jobs, len(pending))) as pool:
+            for index, payload in pool.imap_unordered(_pool_entry, pending):
+                yield index, payload
+
+
+def build_executor(
+    jobs: int = 1,
+    cache_dir: typing.Optional[str] = None,
+    progress: typing.Optional[typing.Callable[[str], None]] = None,
+) -> Executor:
+    """The executor the CLI flags describe (``--jobs``/``--cache-dir``)."""
+    cache = ResultCache(cache_dir) if cache_dir else None
+    if jobs > 1:
+        return ParallelExecutor(jobs=jobs, cache=cache, progress=progress)
+    return SerialExecutor(cache=cache, progress=progress)

@@ -125,3 +125,46 @@ class TestExperimentCommand:
     def test_unknown_experiment_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "table99"])
+
+
+class TestParallelFlags:
+    def test_jobs_below_one_rejected(self):
+        with pytest.raises(SystemExit, match="--jobs must be >= 1"):
+            main(["experiment", "table15_16", "--jobs", "0"])
+
+    def test_experiment_with_jobs_matches_serial(self, capsys):
+        assert main(["experiment", "table15_16", "--scale", "0.05"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["experiment", "table15_16", "--scale", "0.05", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert "executor: 2 ran, 0 cached (jobs=2)" in parallel_out
+        assert serial_out.strip() in parallel_out
+
+    def test_warm_cache_reruns_nothing(self, tmp_path, capsys):
+        args = ["experiment", "table15_16", "--scale", "0.05",
+                "--jobs", "2", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold_out = capsys.readouterr().out
+        assert "executor: 2 ran, 0 cached (jobs=2)" in cold_out
+        assert main(args) == 0
+        warm_out = capsys.readouterr().out
+        assert "executor: 0 ran, 2 cached (jobs=2)" in warm_out
+        assert "2 hits, 0 misses" in warm_out
+        # Cached results render the same comparison table.
+        assert warm_out.split("executor:")[0] == cold_out.split("executor:")[0]
+
+    def test_sweep_with_jobs_matches_serial(self, capsys):
+        assert main(["sweep", "sweep_fabric_mm", "--scale", "0.02"]) == 0
+        serial_out = capsys.readouterr().out
+        assert main(["sweep", "sweep_fabric_mm", "--scale", "0.02", "--jobs", "2"]) == 0
+        parallel_out = capsys.readouterr().out
+        assert "executor: 4 ran, 0 cached (jobs=2)" in parallel_out
+        assert serial_out.strip() in parallel_out
+
+    def test_serial_cache_dir_without_jobs(self, tmp_path, capsys):
+        args = ["sweep", "sweep_fabric_mm", "--scale", "0.02",
+                "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        assert "executor: 4 ran, 0 cached (jobs=1)" in capsys.readouterr().out
+        assert main(args) == 0
+        assert "executor: 0 ran, 4 cached (jobs=1)" in capsys.readouterr().out

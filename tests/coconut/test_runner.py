@@ -5,6 +5,7 @@ import pytest
 from repro.coconut import BenchmarkConfig, BenchmarkRunner, ResultStore
 from repro.coconut.report import heatmap, metrics_table, transactions_table, unit_summary
 from repro.coconut.results import UnitResult
+from repro.faults import FaultPlan
 
 
 @pytest.fixture(scope="module")
@@ -60,6 +61,45 @@ class TestRunner:
         assert any("repetition" in line for line in lines)
 
 
+class TestRunnerStateLeaks:
+    """A reused runner must not carry one unit's state into the next."""
+
+    @staticmethod
+    def faulted_config():
+        config = BenchmarkConfig(
+            system="fabric", iel="DoNothing", rate_limit=5, scale=0.1,
+            repetitions=1, seed=31,
+        )
+        send = config.scaled_send
+        plan = FaultPlan()
+        plan.kill_leader(at=0.25 * send)
+        plan.restart("leader", at=0.5 * send)
+        config.fault_plan = plan
+        return config
+
+    @staticmethod
+    def healthy_config():
+        return BenchmarkConfig(
+            system="fabric", iel="DoNothing", rate_limit=5, scale=0.02,
+            repetitions=1, seed=32,
+        )
+
+    def test_healthy_run_clears_stale_resilience(self):
+        runner = BenchmarkRunner(keep_last_rig=False)
+        runner.run(self.faulted_config())
+        assert runner.last_resilience  # the faulted unit did report
+        runner.run(self.healthy_config())
+        assert runner.last_resilience == {}
+
+    def test_run_many_drops_rigs_and_restores_flag(self):
+        runner = BenchmarkRunner()  # keep_last_rig defaults to True
+        runner.run_many([self.healthy_config()])
+        assert runner.last_rig is None
+        assert runner.keep_last_rig is True
+        runner.run(self.healthy_config())
+        assert runner.last_rig is not None
+
+
 class TestResultStore:
     def test_round_trip(self, fabric_result, tmp_path):
         store = ResultStore(tmp_path)
@@ -80,6 +120,23 @@ class TestResultStore:
         )
         result = BenchmarkRunner(store=store).run(config)
         assert store.labels() == [store.path_for(result.label).stem]
+
+    def test_distinct_labels_get_distinct_paths(self, tmp_path):
+        # Sanitisation alone would map both to rate_100.json and the
+        # second save would silently overwrite the first.
+        store = ResultStore(tmp_path)
+        assert store.path_for("rate:100") != store.path_for("rate_100")
+
+    def test_safe_labels_keep_pretty_names(self, tmp_path):
+        store = ResultStore(tmp_path)
+        assert store.path_for("fabric-DoNothing-rl200").stem == "fabric-DoNothing-rl200"
+
+    def test_unsafe_label_round_trips(self, fabric_result, tmp_path):
+        store = ResultStore(tmp_path)
+        relabelled = UnitResult.from_dict(fabric_result.to_dict())
+        relabelled.label = "fabric:KeyValue rl=100"
+        store.save(relabelled)
+        assert store.load("fabric:KeyValue rl=100").label == "fabric:KeyValue rl=100"
 
 
 class TestReport:

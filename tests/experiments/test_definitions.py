@@ -34,6 +34,33 @@ class TestRegistry:
             assert isinstance(config, BenchmarkConfig)
             assert case.phase in config.phase_sequence
 
+    def test_run_tables_rejects_unknown_ids(self):
+        from repro.experiments.tables import run_tables
+
+        with pytest.raises(KeyError):
+            run_tables(["table42"])
+
+
+class TestEnvOverrides:
+    CASE = Case("c", dict(system="fabric", iel="DoNothing", rate_limit=50), "DoNothing")
+
+    def test_malformed_scale_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        with pytest.raises(ValueError, match=r"REPRO_SCALE.*'tiny'"):
+            self.CASE.build_config()
+
+    def test_malformed_reps_names_the_variable(self, monkeypatch):
+        monkeypatch.setenv("REPRO_REPS", "3.5")
+        with pytest.raises(ValueError, match=r"REPRO_REPS.*'3.5'"):
+            self.CASE.build_config()
+
+    def test_explicit_overrides_beat_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        monkeypatch.setenv("REPRO_REPS", "3.5")
+        config = self.CASE.build_config(scale=0.05, repetitions=2)
+        assert config.scale == 0.05
+        assert config.repetitions == 2
+
 
 class TestTableValues:
     def test_table7_8_matches_paper(self):
