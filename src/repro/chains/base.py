@@ -228,6 +228,9 @@ class BaseNode(Endpoint):
                 else:
                     outcome[payload.payload_id] = (TxStatus.DISCARDED, result.error)
         self._trace_execution(len(outcome))
+        checker = self.sim.checker
+        if checker.enabled:
+            checker.on_apply(self.endpoint_id, outcome)
         return outcome
 
     def _trace_execution(self, payload_count: int) -> None:
@@ -274,6 +277,9 @@ class BaseNode(Endpoint):
         self.state.apply(adapter.rwset)
         self.executed_payloads += len(outcome)
         self._trace_execution(len(outcome))
+        checker = self.sim.checker
+        if checker.enabled:
+            checker.on_apply(self.endpoint_id, outcome)
         return True, outcome
 
     def seal_and_append(self, proposal: BlockProposal, proposer: str) -> Block:
@@ -290,7 +296,12 @@ class BaseNode(Endpoint):
             proposer=proposer,
             timestamp=proposal.created_at,
         )
-        self.chain.append(block)
+        # Sealed here from the decided proposal, so its Merkle root is
+        # correct by construction; skip the per-transaction re-hash.
+        self.chain.append(block, verify_merkle=False)
+        checker = self.sim.checker
+        if checker.enabled:
+            checker.on_block(self.endpoint_id, block)
         tracer = self.sim.tracer
         if tracer.enabled and tracer.wants("storage"):
             tracer.event(
@@ -581,8 +592,11 @@ class SystemModel(abc.ABC):
     def remember_owner(self, payloads: typing.Iterable[Payload]) -> None:
         """Record which client each payload belongs to."""
         owners = self._owners
+        checker = self.sim.checker
         for payload in payloads:
             owners[payload.payload_id] = payload.client_id
+            if checker.enabled:
+                checker.on_payload(payload)
 
     # ------------------------------------------------------------------
     # Diagnostics

@@ -137,6 +137,9 @@ class CordaNode(BaseNode):
                 del self.vault[key]
         for index, (key, value) in enumerate(outputs):
             self.vault[key] = VaultEntry(ref=StateRef(tx_id, index), value=value)
+        checker = self.sim.checker
+        if checker.enabled:
+            checker.on_vault_record(self.endpoint_id, tx_id, outputs, consumed)
 
 
 class CordaNotary(Endpoint):
@@ -201,6 +204,12 @@ class CordaNotary(Endpoint):
                     self.spent.update(request["consumed"])
                     self.accepted += 1
                     ok = True
+                checker = self.sim.checker
+                if checker.enabled:
+                    checker.on_notarise(
+                        self.endpoint_id, request["tx_id"],
+                        list(request["consumed"]), ok,
+                    )
             finally:
                 self.uniqueness_lock.release()
         finally:

@@ -75,6 +75,7 @@ class FabricPeer(BaseNode):
         self._stream_inflight = 0
         self._stream_backlog: typing.Deque[FabricEnvelope] = collections.deque()
         self._seen_proposals: typing.Set[str] = set()
+        self._next_deliver_seq = 0
         self.sim.spawn(self._commit_loop(), name=f"{node_id}-committer")
 
     def forward_envelope(self, envelope: FabricEnvelope) -> None:
@@ -119,16 +120,35 @@ class FabricPeer(BaseNode):
             self.iel.execute(payload, adapter)
         return FabricEnvelope(transaction, adapter.rwset, self.sim.now)
 
-    def enqueue_block(self, proposal: BlockProposal, proposer: str) -> None:
+    def enqueue_block(self, seq: int, proposal: BlockProposal, proposer: str) -> None:
         """A block arrived from the ordering service.
 
-        Duplicates are dropped: after an orderer failover or a peer
-        restart the deliver stream resumes from the ledger tip, and the
-        same block can be offered twice.
+        The deliver stream is sequenced: ``seq`` is the block's position
+        in the ordering service's output. Receiving block ``seq`` while
+        an earlier one is still outstanding means deliveries were lost —
+        the peer's link was cut by a partition, or its orderer died after
+        committing but before delivering. The real deliver service reads
+        blocks by number from the peer's ledger height, so the gap is
+        filled from the orderers' durable block log before the new block
+        is admitted; without this the peer would seal later blocks at its
+        own (lower) heights and fork its ledger.
+
+        Duplicates are dropped: after an orderer failover, a peer
+        restart, or a gap fill racing an in-flight delivery, the same
+        block can be offered twice.
         """
+        if seq > self._next_deliver_seq:
+            system = typing.cast("FabricSystem", self.system)
+            for missed_seq in range(self._next_deliver_seq, seq):
+                missed, missed_proposer = system.block_log[missed_seq]
+                self._admit(missed_seq, missed, missed_proposer)
+        self._admit(seq, proposal, proposer)
+
+    def _admit(self, seq: int, proposal: BlockProposal, proposer: str) -> None:
         if proposal.proposal_id in self._seen_proposals:
             return
         self._seen_proposals.add(proposal.proposal_id)
+        self._next_deliver_seq = seq + 1
         self._delivery_queue.try_put((proposal, proposer))
 
     def _commit_loop(self) -> typing.Generator:
@@ -149,6 +169,9 @@ class FabricPeer(BaseNode):
                     outcome[payload.payload_id] = (status, detail)
                     if applied:
                         self.executed_payloads += 1
+            checker = self.sim.checker
+            if checker.enabled:
+                checker.on_apply(self.endpoint_id, outcome)
             self.seal_and_append(proposal, proposer)
             system.stage_finality(proposal.proposal_id, outcome, self.chain.height)
             system.record_commit(proposal.proposal_id, self.endpoint_id)
@@ -255,12 +278,12 @@ class FabricOrderer(Endpoint):
         self._deliver(typing.cast(BlockProposal, decision.proposal), decision.proposer)
 
     def _deliver(self, proposal: BlockProposal, proposer: str) -> None:
-        self.system.note_block(proposal, proposer)
+        seq = self.system.note_block(proposal, proposer)
         for peer_id in self.system.peers_of_orderer(self.endpoint_id):
             self.send(
                 peer_id,
                 "fabric/deliver",
-                (proposal, proposer),
+                (seq, proposal, proposer),
                 size_bytes=proposal.size_bytes,
             )
 
@@ -380,7 +403,7 @@ class FabricSystem(SystemModel):
         #: A restarted peer's deliver stream resumes from here (the
         #: ledger is durable on the orderers).
         self.block_log: typing.List[typing.Tuple[BlockProposal, str]] = []
-        self._block_log_ids: typing.Set[str] = set()
+        self._block_log_index: typing.Dict[str, int] = {}
 
     def _engine_sender(self, src: str):
         def sender(dst: str, kind: str, payload: object, size_bytes: int) -> None:
@@ -398,13 +421,16 @@ class FabricSystem(SystemModel):
     # ------------------------------------------------------------------
     # Topology helpers
 
-    def note_block(self, proposal: BlockProposal, proposer: str) -> None:
-        """Record one delivered block (Kafka mode delivers per orderer,
-        so the same block id arrives up to three times)."""
-        if proposal.proposal_id in self._block_log_ids:
-            return
-        self._block_log_ids.add(proposal.proposal_id)
-        self.block_log.append((proposal, proposer))
+    def note_block(self, proposal: BlockProposal, proposer: str) -> int:
+        """Record one delivered block and return its stream sequence
+        number (Kafka mode delivers per orderer, so the same block id
+        arrives up to three times and keeps its first number)."""
+        seq = self._block_log_index.get(proposal.proposal_id)
+        if seq is None:
+            seq = len(self.block_log)
+            self._block_log_index[proposal.proposal_id] = seq
+            self.block_log.append((proposal, proposer))
+        return seq
 
     def live_orderer_ids(self) -> typing.List[str]:
         """Orderers currently able to serve deliver streams."""
@@ -502,8 +528,8 @@ class FabricSystem(SystemModel):
         if peer is not None:
             # The deliver stream resumes from the ledger: blocks the peer
             # missed while down are re-offered (duplicates are filtered).
-            for proposal, proposer in self.block_log:
-                peer.enqueue_block(proposal, proposer)
+            for seq, (proposal, proposer) in enumerate(self.block_log):
+                peer.enqueue_block(seq, proposal, proposer)
 
     # ------------------------------------------------------------------
     # Submission path
@@ -529,8 +555,8 @@ class FabricSystem(SystemModel):
 
     def handle_node_message(self, node: BaseNode, message: Message) -> None:
         if message.kind == "fabric/deliver":
-            proposal, proposer = message.payload
-            typing.cast(FabricPeer, node).enqueue_block(proposal, proposer)
+            seq, proposal, proposer = message.payload
+            typing.cast(FabricPeer, node).enqueue_block(seq, proposal, proposer)
         elif message.kind == "fabric/envelope_ack":
             typing.cast(FabricPeer, node).on_stream_ack()
         else:

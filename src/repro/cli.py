@@ -86,12 +86,16 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 f"coconut run: error: trace directory does not exist: {trace_dir}")
         tracer = Tracer(trace_config)
     store = ResultStore(args.output) if args.output else None
+    check = args.check or args.check_level is not None
     runner = BenchmarkRunner(store=store, progress=print if args.verbose else None,
-                             tracer=tracer)
+                             tracer=tracer, check=check,
+                             check_level=args.check_level or "basic")
     result = runner.run(config)
     print(unit_summary(result))
     for phase, report in sorted(runner.last_resilience.items()):
         print(f"resilience [{phase}]: {report.render()}")
+    if runner.last_invariants is not None:
+        print(f"invariants: {runner.last_invariants.render()}")
     if args.blockstats and runner.last_rig is not None:
         from repro.analysis.blockstats import collect_block_stats
 
@@ -99,6 +103,8 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"block stats: {collect_block_stats(node.chain).describe()}")
     if tracer is not None:
         _export_trace(tracer, args)
+    if runner.last_invariants is not None and not runner.last_invariants.ok:
+        return 1
     return 0
 
 
@@ -204,6 +210,15 @@ def build_parser() -> argparse.ArgumentParser:
     run_parser.add_argument("--scale", type=float, default=0.1,
                             help="window scale (1.0 = the paper's 300 s send window)")
     run_parser.add_argument("--seed", type=int, default=0)
+    run_parser.add_argument("--check", action="store_true",
+                            help="run the protocol invariant oracles alongside "
+                                 "the benchmark; a violation exits non-zero")
+    run_parser.add_argument("--check-level", choices=("basic", "strict"),
+                            default=None,
+                            help="basic = all safety oracles; strict adds "
+                                 "per-block merkle verification and full "
+                                 "end-of-run chain re-validation "
+                                 "(implies --check)")
     run_parser.add_argument("--output", help="directory to persist results into")
     run_parser.add_argument("--blockstats", action="store_true",
                             help="print block statistics after the run")

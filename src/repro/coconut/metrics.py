@@ -109,6 +109,10 @@ class PhaseMetrics:
     #: the repetition ran under a fault plan whose window touched this
     #: phase; None for healthy runs.
     resilience: typing.Optional[dict] = None
+    #: :meth:`repro.invariants.report.InvariantReport.to_dict` output for
+    #: the repetition, attached to its final phase when the run was
+    #: checked (the report spans all phases); None otherwise.
+    invariants: typing.Optional[dict] = None
 
     @property
     def not_received(self) -> int:

@@ -16,6 +16,7 @@ from repro.coconut.metrics import PhaseMetrics
 from repro.coconut.provisioner import Provisioner, Rig
 from repro.coconut.results import PhaseResult, ResultStore, UnitResult
 from repro.faults import FaultInjector, ResilienceReport
+from repro.invariants import InvariantChecker, InvariantReport
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.trace.tracer import Tracer
@@ -31,6 +32,8 @@ class BenchmarkRunner:
         progress: typing.Optional[typing.Callable[[str], None]] = None,
         tracer: typing.Optional["Tracer"] = None,
         keep_last_rig: bool = True,
+        check: bool = False,
+        check_level: str = "basic",
     ) -> None:
         self.store = store
         self.provisioner = provisioner or Provisioner()
@@ -38,6 +41,13 @@ class BenchmarkRunner:
         #: Installed on every repetition's simulator when set, so one
         #: tracer collects the whole unit (phases carry repetition attrs).
         self.tracer = tracer
+        #: Whether to install an invariant checker on every repetition's
+        #: simulator. Each repetition gets a fresh checker (a fresh rig
+        #: restarts every chain at height zero, which a shared checker
+        #: would misread as an agreement violation); the unit-level
+        #: report is their merge.
+        self.check = check
+        self.check_level = check_level
         #: Whether to pin the most recent repetition's rig for post-run
         #: inspection (block statistics, chain validation). Sweep drivers
         #: disable this: retaining a full simulated deployment per unit
@@ -47,24 +57,44 @@ class BenchmarkRunner:
         #: Phase -> resilience report of the most recent repetition that
         #: ran under a fault plan (empty for healthy runs).
         self.last_resilience: typing.Dict[str, ResilienceReport] = {}
+        #: The most recent unit's merged invariant report (None when the
+        #: unit ran unchecked).
+        self.last_invariants: typing.Optional[InvariantReport] = None
 
     def run(self, config: BenchmarkConfig) -> UnitResult:
         """Run one benchmark unit, all repetitions, all phases."""
         # Cleared unconditionally: a reused runner must not report the
         # previous unit's resilience data after a healthy run.
         self.last_resilience = {}
+        self.last_invariants = None
         phases = config.phase_sequence
         per_phase: typing.Dict[str, typing.List[PhaseMetrics]] = {p: [] for p in phases}
+        reports: typing.List[InvariantReport] = []
         for repetition in range(config.repetitions):
             self.progress(f"{config.label()} repetition {repetition + 1}/{config.repetitions}")
             rig = self.provisioner.provision(config, repetition)
             if self.tracer is not None:
                 rig.sim.set_tracer(self.tracer)
+            if self.check:
+                rig.sim.set_checker(
+                    InvariantChecker(
+                        level=self.check_level, iel=config.iel, repetition=repetition
+                    )
+                )
             metrics = self._run_repetition(rig, config, repetition)
+            if self.check:
+                report = rig.sim.checker.finalize(rig.system)
+                reports.append(report)
+                # The report spans the whole repetition; it rides on the
+                # final phase's metrics next to the resilience data.
+                metrics[phases[-1]].invariants = report.to_dict()
+                self.progress(f"  invariants: {report.render()}")
             if self.keep_last_rig:
                 self.last_rig = rig
             for phase, phase_metrics in metrics.items():
                 per_phase[phase].append(phase_metrics)
+        if self.check:
+            self.last_invariants = InvariantReport.merge(reports)
         result = UnitResult(
             label=config.label(),
             system=config.system,
@@ -94,7 +124,10 @@ class BenchmarkRunner:
             injector = FaultInjector(rig.sim, rig.system, config.fault_plan)
             injector.install(epoch=clock)
             self.last_resilience = {}
+        checker = rig.sim.checker
         for phase in config.phase_sequence:
+            if checker.enabled:
+                checker.set_phase(phase)
             # All clients wait for each other and start together
             # (Section 4.3: uniform load distribution).
             phase_start = clock

@@ -71,6 +71,11 @@ class EngineContext:
         """The hosting simulator's tracer (NOOP unless one is installed)."""
         return self.sim.tracer
 
+    @property
+    def checker(self):
+        """The hosting simulator's invariant checker (NOOP by default)."""
+        return self.sim.checker
+
     def index_of(self, replica_id: str) -> int:
         """Stable index of a replica in the group."""
         return self.peers.index(replica_id)
@@ -170,7 +175,9 @@ class ReplicaEngine:
         """Offer a proposal (a block) for ordering."""
         raise NotImplementedError
 
-    def _record_decision(self, decision: Decision) -> None:
+    def _record_decision(
+        self, decision: Decision, evidence: typing.Optional[typing.Dict[str, object]] = None
+    ) -> None:
         self.decided_count += 1
         tracer = self.context.tracer
         if tracer.enabled and tracer.wants("consensus"):
@@ -180,4 +187,10 @@ class ReplicaEngine:
                 proposer=decision.proposer,
             )
             tracer.metrics.counter("consensus.decisions", node=self.replica_id).inc()
+        checker = self.context.checker
+        if checker.enabled:
+            checker.on_decision(
+                self.replica_id, type(self).__name__, decision,
+                evidence or {}, self.context.n,
+            )
         self.context.decide(decision)

@@ -199,6 +199,11 @@ class DiemBftEngine(ReplicaEngine):
         votes = self._votes.setdefault(round_number, set())
         votes.add(voter)
         if len(votes) >= quorum_size(self.context.n, "bft"):
+            checker = self.context.checker
+            if checker.enabled:
+                checker.on_qc(
+                    type(self).__name__, round_number, len(votes), self.context.n
+                )
             self._learn_qc(round_number)
             if round_number + 1 > self.current_round:
                 self._enter_round(round_number + 1)
@@ -246,13 +251,17 @@ class DiemBftEngine(ReplicaEngine):
             cursor = info.parent_round
         for info in reversed(chain):
             self._committed_through = info.round
+            evidence = None
+            if self.context.checker.enabled:
+                evidence = {"kind": "qc", "round": info.round}
             self._record_decision(
                 Decision(
                     sequence=self._commit_sequence,
                     proposal=info.proposal,
                     proposer=info.proposer,
                     decided_at=self.context.now,
-                )
+                ),
+                evidence,
             )
             self._commit_sequence += 1
 

@@ -113,7 +113,7 @@ class DposEngine(ReplicaEngine):
             {"height": height, "slot": slot, "proposal": proposal},
             size_bytes=getattr(proposal, "size_bytes", 512),
         )
-        self._apply(height, proposal, self.replica_id)
+        self._apply(height, proposal, self.replica_id, slot=slot)
 
     # ------------------------------------------------------------------
     # Message handling
@@ -147,18 +147,38 @@ class DposEngine(ReplicaEngine):
             # Out-of-order delivery; hold until the gap fills.
             self._future_blocks[height] = (message["proposal"], sender)
             return
-        self._apply(height, message["proposal"], sender)
+        self._apply(height, message["proposal"], sender, slot=message["slot"])
 
-    def _apply(self, height: int, proposal: object, proposer: str) -> None:
+    def _apply(
+        self,
+        height: int,
+        proposal: object,
+        proposer: str,
+        slot: typing.Optional[int] = None,
+    ) -> None:
         self.height = height + 1
         self._applied_log.append((proposal, proposer))
+        evidence = None
+        if self.context.checker.enabled:
+            if slot is not None:
+                # The schedule travels with the evidence so the oracle can
+                # check slot adherence and cross-replica consistency.
+                evidence = {
+                    "kind": "dpos-slot", "slot": slot,
+                    "witnesses": tuple(self.witnesses),
+                }
+            else:
+                # Sync replay / buffered out-of-order blocks: the producer
+                # already recorded the slot-backed decision.
+                evidence = {"kind": "sync"}
         self._record_decision(
             Decision(
                 sequence=height,
                 proposal=proposal,
                 proposer=proposer,
                 decided_at=self.context.now,
-            )
+            ),
+            evidence,
         )
         while self.height in self._future_blocks:
             proposal, proposer = self._future_blocks.pop(self.height)

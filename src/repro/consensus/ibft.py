@@ -229,9 +229,13 @@ class IbftEngine(ReplicaEngine):
             proposer=self.proposer,
             decided_at=self.context.now,
         )
+        # Captured before _enter_height resets the round's commit set.
+        evidence = None
+        if self.context.checker.enabled:
+            evidence = {"kind": "bft-votes", "votes": len(self._commits)}
         self._decided_log.append((self.proposal, self.proposer))
         self._enter_height(self.height + 1)
-        self._record_decision(decision)
+        self._record_decision(decision, evidence)
 
     def _enter_height(self, height: int) -> None:
         self.height = height
@@ -352,6 +356,7 @@ class IbftEngine(ReplicaEngine):
                 proposer=proposer,
                 decided_at=self.context.now,
             )
+            evidence = {"kind": "sync"} if self.context.checker.enabled else None
             self._decided_log.append((proposal, proposer))
             self._enter_height(height + 1)
-            self._record_decision(decision)
+            self._record_decision(decision, evidence)

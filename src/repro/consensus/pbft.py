@@ -309,13 +309,17 @@ class PbftEngine(ReplicaEngine):
             self.executed_through = next_sequence
             self._external_pending = False
             self._decided_log.append((slot.proposal, slot.proposer))
+            evidence = None
+            if self.context.checker.enabled:
+                evidence = {"kind": "bft-votes", "votes": len(slot.commits)}
             self._record_decision(
                 Decision(
                     sequence=next_sequence,
                     proposal=slot.proposal,
                     proposer=slot.proposer,
                     decided_at=self.context.now,
-                )
+                ),
+                evidence,
             )
             self.next_sequence = max(self.next_sequence, next_sequence + 1)
 
@@ -438,13 +442,15 @@ class PbftEngine(ReplicaEngine):
             self.executed_through = sequence
             self.next_sequence = max(self.next_sequence, sequence + 1)
             self._decided_log.append((proposal, proposer))
+            evidence = {"kind": "sync"} if self.context.checker.enabled else None
             self._record_decision(
                 Decision(
                     sequence=sequence,
                     proposal=proposal,
                     proposer=proposer,
                     decided_at=self.context.now,
-                )
+                ),
+                evidence,
             )
         if message["view"] > self.view:
             self.view = message["view"]

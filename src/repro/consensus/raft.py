@@ -306,6 +306,7 @@ class RaftEngine(ReplicaEngine):
 
     def _commit_through(self, index: int) -> None:
         tracer = self.context.tracer
+        checker = self.context.checker
         while self.commit_index < index:
             self.commit_index += 1
             entry = self.log[self.commit_index]
@@ -313,11 +314,26 @@ class RaftEngine(ReplicaEngine):
                 # Only the appending leader opened this key; on followers
                 # (and post-failover leaders) this is a no-op.
                 tracer.end(("raft", self.replica_id, self.commit_index))
+            evidence = None
+            if checker.enabled:
+                if self.role == LEADER:
+                    # The replication count that justified the advance
+                    # (matches >= this index; monotone in the index).
+                    votes = sum(
+                        1 for match in self._match_index.values()
+                        if match >= self.commit_index
+                    )
+                    evidence = {"kind": "crash-votes", "votes": votes}
+                else:
+                    # Followers commit on the leader's say-so, which the
+                    # leader only sends after its own quorum-backed commit.
+                    evidence = {"kind": "follow"}
             self._record_decision(
                 Decision(
                     sequence=self.commit_index,
                     proposal=entry.proposal,
                     proposer=entry.proposer,
                     decided_at=self.context.now,
-                )
+                ),
+                evidence,
             )

@@ -1,0 +1,32 @@
+"""Protocol invariant checking (runtime safety oracles).
+
+A pluggable oracle layer that observes a benchmark run through hooks in
+the simulator, the consensus engines and the system models, and asserts
+the protocol-safety and ledger invariants the paper's comparison relies
+on: agreement, total order, no double commits, quorum validity per
+engine, hash-chain integrity, notary uniqueness, and IEL conservation /
+last-writer-wins consistency. Crash/restart and partition faults may
+cost liveness but must never produce a violation.
+
+Entry points: the runner's ``check=True`` / ``check_level`` arguments,
+``coconut run --check [--check-level strict]`` on the CLI, and
+:class:`InvariantChecker` directly via ``Simulator.set_checker``.
+"""
+
+from repro.invariants.checker import (
+    LEVELS,
+    NOOP_CHECKER,
+    InvariantChecker,
+    NoopChecker,
+)
+from repro.invariants.report import VIOLATION_CAP, InvariantReport, Violation
+
+__all__ = [
+    "LEVELS",
+    "NOOP_CHECKER",
+    "VIOLATION_CAP",
+    "InvariantChecker",
+    "InvariantReport",
+    "NoopChecker",
+    "Violation",
+]

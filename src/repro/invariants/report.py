@@ -1,0 +1,128 @@
+"""Structured invariant-violation reports.
+
+A run's :class:`InvariantReport` rides on the benchmark result next to
+trace and resilience data: per-oracle observation counts (so a green
+report distinguishes "checked and held" from "never exercised") plus the
+violations themselves. Violation storage is capped per oracle — a single
+corrupted replica would otherwise flood the report with one entry per
+block — while the total count stays exact.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+#: Stored violations per oracle; further ones only increment the counts.
+VIOLATION_CAP = 25
+
+
+@dataclasses.dataclass(frozen=True)
+class Violation:
+    """One observed breach of one invariant."""
+
+    oracle: str
+    detail: str
+    node: str = ""
+    phase: str = ""
+    repetition: int = 0
+
+    def to_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Violation":
+        return cls(**data)
+
+    def render(self) -> str:
+        where = f" on {self.node}" if self.node else ""
+        phase = f" [{self.phase} r{self.repetition}]" if self.phase else ""
+        return f"{self.oracle}{where}{phase}: {self.detail}"
+
+
+class InvariantReport:
+    """All invariant outcomes of one run (or one repetition)."""
+
+    def __init__(self, level: str = "basic") -> None:
+        self.level = level
+        self.violations: typing.List[Violation] = []
+        #: oracle -> number of individual checks it performed.
+        self.checks: typing.Dict[str, int] = {}
+        #: oracle -> exact violation count (capped list aside).
+        self.violation_counts: typing.Dict[str, int] = {}
+
+    @property
+    def ok(self) -> bool:
+        """Whether the run was safety-clean."""
+        return not self.violation_counts
+
+    @property
+    def total_violations(self) -> int:
+        """Exact violation count, including entries beyond the cap."""
+        return sum(self.violation_counts.values())
+
+    def observe(self, oracle: str, count: int = 1) -> None:
+        """Account ``count`` checks performed by ``oracle``."""
+        self.checks[oracle] = self.checks.get(oracle, 0) + count
+
+    def record(self, violation: Violation) -> None:
+        """Register a violation (stored up to the per-oracle cap)."""
+        count = self.violation_counts.get(violation.oracle, 0)
+        self.violation_counts[violation.oracle] = count + 1
+        if count < VIOLATION_CAP:
+            self.violations.append(violation)
+
+    def violations_for(self, oracle: str) -> typing.List[Violation]:
+        """The stored violations of one oracle."""
+        return [v for v in self.violations if v.oracle == oracle]
+
+    def to_dict(self) -> dict:
+        return {
+            "level": self.level,
+            "ok": self.ok,
+            "checks": dict(self.checks),
+            "violation_counts": dict(self.violation_counts),
+            "violations": [v.to_dict() for v in self.violations],
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "InvariantReport":
+        report = cls(level=data.get("level", "basic"))
+        report.checks = dict(data.get("checks", {}))
+        report.violation_counts = dict(data.get("violation_counts", {}))
+        report.violations = [Violation.from_dict(v) for v in data.get("violations", [])]
+        return report
+
+    @classmethod
+    def merge(cls, reports: typing.Sequence["InvariantReport"]) -> "InvariantReport":
+        """Combine per-repetition reports into one unit-level report."""
+        merged = cls(level=reports[0].level if reports else "basic")
+        for report in reports:
+            for oracle, count in report.checks.items():
+                merged.observe(oracle, count)
+            for oracle, count in report.violation_counts.items():
+                merged.violation_counts[oracle] = (
+                    merged.violation_counts.get(oracle, 0) + count
+                )
+            room = VIOLATION_CAP * max(1, len(merged.violation_counts))
+            merged.violations.extend(report.violations[: max(0, room - len(merged.violations))])
+        return merged
+
+    def render(self) -> str:
+        """One-screen summary for the CLI."""
+        total_checks = sum(self.checks.values())
+        if self.ok:
+            return (
+                f"ok ({self.level}): {len(self.checks)} oracles, "
+                f"{total_checks} checks, 0 violations"
+            )
+        by_oracle = ", ".join(
+            f"{oracle}:{count}" for oracle, count in sorted(self.violation_counts.items())
+        )
+        lines = [
+            f"FAILED ({self.level}): {self.total_violations} violations ({by_oracle})"
+        ]
+        lines.extend("  " + violation.render() for violation in self.violations[:10])
+        if self.total_violations > 10:
+            lines.append(f"  ... and {self.total_violations - 10} more")
+        return "\n".join(lines)

@@ -11,12 +11,14 @@ from __future__ import annotations
 import heapq
 import typing
 
+from repro.invariants.checker import NOOP_CHECKER
 from repro.sim.events import Event, SimulationError, Timeout
 from repro.sim.process import Process
 from repro.sim.rng import RngRegistry
 from repro.trace.tracer import NOOP_TRACER
 
 if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.invariants.checker import InvariantChecker
     from repro.trace.tracer import Tracer
 
 
@@ -40,6 +42,7 @@ class Simulator:
         self._running = False
         self.rng = RngRegistry(seed)
         self.tracer = NOOP_TRACER
+        self.checker = NOOP_CHECKER
 
     @property
     def now(self) -> float:
@@ -50,6 +53,10 @@ class Simulator:
         """Install a tracer and bind its clock to this simulator."""
         self.tracer = tracer
         tracer.bind_clock(lambda: self._now)
+
+    def set_checker(self, checker: "InvariantChecker") -> None:
+        """Install an invariant checker observing this simulator's run."""
+        self.checker = checker
 
     def schedule(self, delay: float, callback: typing.Callable[[], None]) -> None:
         """Run ``callback()`` after ``delay`` simulated seconds."""

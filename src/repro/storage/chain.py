@@ -44,13 +44,16 @@ class Chain:
         """Hash of the head block (genesis sentinel when empty)."""
         return self._blocks[-1].block_hash if self._blocks else GENESIS_HASH
 
-    def append(self, block: Block, verify_merkle: bool = False) -> None:
+    def append(self, block: Block, verify_merkle: bool = True) -> None:
         """Validate linkage and append ``block``.
 
-        Height and parent-hash linkage are always checked; the Merkle
-        root is only recomputed when ``verify_merkle`` is set (it costs a
-        hash per transaction), and unconditionally by :meth:`validate`,
-        which integration tests run over the whole chain.
+        Height, parent-hash linkage and block-hash uniqueness are always
+        checked. The Merkle root is verified by default — a block whose
+        transaction list was swapped behind an intact header would
+        otherwise append silently — but costs a hash per transaction, so
+        callers appending blocks they just sealed themselves (the node
+        commit path) pass ``verify_merkle=False``. A failed append
+        leaves the chain unmodified.
         """
         expected_height = len(self._blocks)
         if block.height != expected_height:
@@ -60,6 +63,10 @@ class Chain:
         if block.header.parent_hash != self.head_hash:
             raise ChainValidationError(
                 f"{self.owner}: parent hash mismatch at height {block.height}"
+            )
+        if block.block_hash in self._by_hash:
+            raise ChainValidationError(
+                f"{self.owner}: duplicate block hash at height {block.height}"
             )
         if verify_merkle and not block.verify_merkle_root():
             raise ChainValidationError(

@@ -52,6 +52,55 @@ class TestRunCommand:
         assert data["system"] == "quorum"
         assert data["params"]["istanbul.blockperiod"] == 2.0
 
+    def test_check_flag_prints_report_and_persists_it(self, tmp_path, capsys):
+        code = main([
+            "run", "--system", "quorum", "--iel", "KeyValue",
+            "--rate", "20", "--scale", "0.02", "--check",
+            "--output", str(tmp_path),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "invariants: ok (basic)" in out
+        data = json.loads(next(iter(tmp_path.glob("*.json"))).read_text())
+        # The report rides on the unit's final phase, beside resilience.
+        final_phase = data["phases"]["Get"]["repetitions"][-1]
+        assert final_phase["invariants"]["ok"] is True
+        assert final_phase["invariants"]["violations"] == []
+
+    def test_check_level_implies_check(self, capsys):
+        code = main([
+            "run", "--system", "fabric", "--iel", "DoNothing",
+            "--rate", "20", "--scale", "0.02", "--check-level", "strict",
+        ])
+        assert code == 0
+        assert "invariants: ok (strict)" in capsys.readouterr().out
+
+    def test_check_violation_makes_exit_code_nonzero(self, monkeypatch, capsys):
+        from repro.coconut import runner as runner_module
+
+        class PoisonOracle:
+            name = "poison"
+
+            def finalize(self, ch, system):
+                ch.violation(self.name, "n0", "seeded for the exit-code test")
+
+        real_checker = runner_module.InvariantChecker
+
+        def poisoned(**kwargs):
+            checker = real_checker(**kwargs)
+            poison = PoisonOracle()
+            checker.oracles.append(poison)
+            checker._hooked["finalize"].append(poison)
+            return checker
+
+        monkeypatch.setattr(runner_module, "InvariantChecker", poisoned)
+        code = main([
+            "run", "--system", "fabric", "--iel", "DoNothing",
+            "--rate", "20", "--scale", "0.02", "--check",
+        ])
+        assert code == 1
+        assert "FAILED" in capsys.readouterr().out
+
     def test_blockstats_flag(self, capsys):
         code = main([
             "run", "--system", "fabric", "--iel", "DoNothing",

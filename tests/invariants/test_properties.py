@@ -1,0 +1,94 @@
+"""Property tests over the checked benchmark pipeline.
+
+Two families:
+
+* *Determinism*: the simulator is deterministic by construction and the
+  checker is purely observational, so running the same seed twice must
+  produce the identical invariant report and the identical metrics
+  digest — across many seeds and all seven systems. A divergence means
+  either the simulation leaked state or the checker perturbed the
+  schedule.
+* *Metamorphic*: raising the rate limiter never decreases the committed
+  transaction count on the DoNothing IEL (more offered load, no
+  contention semantics to invalidate transactions).
+"""
+
+import pytest
+
+from repro.chains.registry import SYSTEM_NAMES
+from repro.coconut.config import BenchmarkConfig
+from repro.coconut.runner import BenchmarkRunner
+
+#: Small rigs: enough traffic that every oracle fires, small enough that
+#: 25+ seeds x 2 runs stay in test-suite budget.
+SCALE = 0.03
+RATE = 5
+
+SEEDS = range(25)
+
+
+def run_once(system: str, seed: int, iel: str = "KeyValue", rate: int = RATE):
+    config = BenchmarkConfig(system=system, iel=iel, rate_limit=rate,
+                             scale=SCALE, seed=seed)
+    runner = BenchmarkRunner(check=True, check_level="strict", keep_last_rig=False)
+    result = runner.run(config)
+    return result, runner.last_invariants
+
+
+def metrics_digest(result) -> tuple:
+    """A stable fingerprint of every number the run produced."""
+    return tuple(
+        (phase_result.phase, metrics.expected, metrics.received, metrics.failed,
+         round(metrics.tps, 9), round(metrics.mean_fls, 9),
+         round(metrics.duration, 9))
+        for phase_result in result.phases.values()
+        for metrics in phase_result.repetitions
+    )
+
+
+class TestDeterminism:
+    """Same seed => identical report and identical metrics, per system."""
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_same_seed_same_outcome(self, seed):
+        # Spread the seeds across the seven systems so every engine sees
+        # multiple seeds without running 25 x 7 x 2 units.
+        system = SYSTEM_NAMES[seed % len(SYSTEM_NAMES)]
+        first_result, first_report = run_once(system, seed)
+        second_result, second_report = run_once(system, seed)
+        assert first_report is not None and second_report is not None
+        assert first_report.to_dict() == second_report.to_dict()
+        assert metrics_digest(first_result) == metrics_digest(second_result)
+        assert first_report.ok, f"{system} seed {seed}: {first_report.render()}"
+
+    def test_reports_state_their_level(self):
+        __, report = run_once(SYSTEM_NAMES[0], seed=99)
+        assert report.to_dict()["level"] == "strict"
+
+
+class TestUncheckedEquivalence:
+    """The checker observes; it must not change what the run measures."""
+
+    @pytest.mark.parametrize("system", SYSTEM_NAMES)
+    def test_checked_run_matches_unchecked_metrics(self, system):
+        config = BenchmarkConfig(system=system, iel="KeyValue", rate_limit=RATE,
+                                 scale=SCALE, seed=11)
+        unchecked = BenchmarkRunner(keep_last_rig=False).run(config)
+        checked_runner = BenchmarkRunner(check=True, check_level="strict",
+                                         keep_last_rig=False)
+        checked = checked_runner.run(config)
+        assert metrics_digest(unchecked) == metrics_digest(checked)
+        assert checked_runner.last_invariants.ok
+
+
+class TestMetamorphic:
+    """More offered load never means fewer committed transactions."""
+
+    @pytest.mark.parametrize("system", ("quorum", "bitshares", "diem"))
+    def test_rate_increase_never_decreases_commits(self, system):
+        low_result, low_report = run_once(system, seed=5, iel="DoNothing", rate=3)
+        high_result, high_report = run_once(system, seed=5, iel="DoNothing", rate=6)
+        low = sum(m.received for p in low_result.phases.values() for m in p.repetitions)
+        high = sum(m.received for p in high_result.phases.values() for m in p.repetitions)
+        assert high >= low > 0
+        assert low_report.ok and high_report.ok

@@ -77,6 +77,39 @@ class TestChain:
         with pytest.raises(ChainValidationError, match="parent"):
             chain.append(bad)
 
+    def test_duplicate_block_hash_rejected(self):
+        chain = build_chain(1)
+        head = chain.head
+        # Re-offering the head at the next height: parent check would
+        # already fail, but a hash collision is its own diagnostic.
+        with pytest.raises(ChainValidationError):
+            chain.append(head)
+
+    def test_tampered_transactions_rejected_by_default(self):
+        # A valid header whose transaction list was swapped behind it:
+        # linkage and height are fine, only the Merkle root gives the
+        # tamper away — append must verify it unless told otherwise.
+        chain = build_chain(1)
+        sealed = Block.seal(1, chain.head_hash, [make_tx("honest")], "node-1", 2.0)
+        forged = Block(sealed.header, [make_tx("swapped")])
+        with pytest.raises(ChainValidationError, match="merkle"):
+            chain.append(forged)
+        # The self-sealed fast path stays available for the node commit
+        # loop, which computed the root itself a moment earlier.
+        chain.append(sealed, verify_merkle=False)
+        assert chain.height == 1
+
+    def test_failed_append_leaves_chain_unmodified(self):
+        chain = build_chain(2)
+        head_hash = chain.head_hash
+        bad = Block.seal(2, "f" * 64, [make_tx()], "node-1", 9.0)
+        with pytest.raises(ChainValidationError):
+            chain.append(bad)
+        assert len(chain) == 2
+        assert chain.head_hash == head_hash
+        assert chain.block_by_hash(bad.block_hash) is None
+        chain.validate()
+
     def test_lookup_by_height_and_hash(self):
         chain = build_chain(3)
         block = chain.block_at(1)
