@@ -1,0 +1,84 @@
+"""Benchmarks the capacity-search subsystem's acceptance bar.
+
+Not a paper artifact: this bench guards `repro.search` — on real
+simulated response curves (not synthetic predicates) the bisection
+strategy must land within one rate step of the exhaustive grid oracle
+while spending at most half the probes, deterministically. Fabric and
+Quorum cover the two consensus families the CI smoke also exercises
+(Raft ordering vs. IBFT) at opposite ends of the rate scale.
+"""
+
+import time
+
+from benchmarks.conftest import run_once
+from repro.analysis.compare import ShapeCheck, render_checks
+from repro.experiments.capacity import CAPACITY_SPACES, DEFAULT_SCALE
+from repro.search import CapacitySearch
+
+
+def search_for(system, strategy):
+    return CapacitySearch(
+        system=system,
+        iel="KeyValue",
+        space=CAPACITY_SPACES[system],
+        strategy=strategy,
+        scale=DEFAULT_SCALE,
+        seed=81,
+    )
+
+
+def test_bisection_vs_grid_oracle(benchmark):
+    """Bisection matches the grid knee with <= half the probes."""
+
+    def run_searches():
+        outcomes = {}
+        for system in ("fabric", "quorum"):
+            timings = {}
+            for strategy in ("bisect", "grid"):
+                start = time.perf_counter()
+                report = search_for(system, strategy).run()
+                timings[strategy] = (report, time.perf_counter() - start)
+            rerun = search_for(system, "bisect").run()
+            outcomes[system] = (timings, rerun)
+        return outcomes
+
+    outcomes = run_once(benchmark, run_searches)
+    print()
+    checks = []
+    for system, (timings, rerun) in outcomes.items():
+        bisect_report, bisect_time = timings["bisect"]
+        grid_report, grid_time = timings["grid"]
+        step = int(CAPACITY_SPACES[system].rate.step)
+        print(f"{system}: bisect {bisect_report.probe_count} probes in "
+              f"{bisect_time:.1f}s (knee RL={bisect_report.knee_aggregate_rate}), "
+              f"grid {grid_report.probe_count} probes in {grid_time:.1f}s "
+              f"(knee RL={grid_report.knee_aggregate_rate})")
+        checks.extend([
+            ShapeCheck(
+                f"{system}: both strategies find a knee",
+                passed=bisect_report.found and grid_report.found,
+                detail=f"bisect={bisect_report.knee_rate} grid={grid_report.knee_rate}",
+            ),
+            ShapeCheck(
+                f"{system}: bisection within one rate step of the oracle",
+                passed=abs(bisect_report.knee_rate - grid_report.knee_rate) <= step,
+                detail=f"|{bisect_report.knee_rate} - {grid_report.knee_rate}| <= {step}",
+            ),
+            ShapeCheck(
+                f"{system}: bisection spends <= half the oracle's probes",
+                passed=bisect_report.probe_count <= grid_report.probe_count // 2,
+                detail=f"{bisect_report.probe_count} vs {grid_report.probe_count}",
+            ),
+            ShapeCheck(
+                f"{system}: bisection is faster end to end",
+                passed=bisect_time < grid_time,
+                detail=f"{bisect_time:.1f}s vs {grid_time:.1f}s",
+            ),
+            ShapeCheck(
+                f"{system}: probe trajectory is deterministic",
+                passed=rerun.to_dict() == bisect_report.to_dict(),
+                detail=f"{rerun.probe_count} probes, byte-identical report",
+            ),
+        ])
+    print(render_checks(checks))
+    assert all(check.passed for check in checks)

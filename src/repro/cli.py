@@ -24,6 +24,24 @@ from repro.experiments.sweeps import SWEEPS, build_sweep
 from repro.net.latency import EUROPEAN_WAN_LATENCY
 
 
+def _positive_int(text: str) -> int:
+    """argparse type for flags that need an integer >= 1 (e.g. --jobs).
+
+    Rejecting at parse time keeps a bad value out of the multiprocessing
+    pool, with the same clear-error style as the REPRO_SCALE/REPRO_REPS
+    checks.
+    """
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {text!r}"
+        ) from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {text!r}")
+    return value
+
+
 def _parse_params(raw: typing.Sequence[str]) -> typing.Dict[str, object]:
     params: typing.Dict[str, object] = {}
     for item in raw:
@@ -38,10 +56,13 @@ def _parse_params(raw: typing.Sequence[str]) -> typing.Dict[str, object]:
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
+    from repro.search import STRATEGIES
+
     print("systems:     " + ", ".join(SYSTEM_NAMES))
     print("iels:        " + ", ".join(sorted(UNIT_PHASES)))
     print("experiments: " + ", ".join(EXPERIMENT_IDS))
     print("sweeps:      " + ", ".join(sorted(SWEEPS)))
+    print("strategies:  " + ", ".join(sorted(STRATEGIES)))
     return 0
 
 
@@ -177,6 +198,116 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_search_params(raw: typing.Sequence[str]):
+    """``name=low:high:step`` specs -> Domain objects."""
+    from repro.search import Domain
+
+    domains = []
+    for spec in raw:
+        if "=" not in spec or spec.count(":") != 2:
+            raise SystemExit(
+                f"coconut search: error: --search-param expects "
+                f"name=low:high:step, got {spec!r}"
+            )
+        name, bounds = spec.split("=", 1)
+        pieces = bounds.split(":")
+        integer = not any("." in piece for piece in pieces)
+        try:
+            low, high, step = (float(piece) for piece in pieces)
+        except ValueError:
+            raise SystemExit(
+                f"coconut search: error: --search-param expects numeric "
+                f"low:high:step, got {spec!r}"
+            ) from None
+        try:
+            domains.append(Domain(name=name, low=low, high=high, step=step,
+                                  integer=integer))
+        except ValueError as error:
+            raise SystemExit(f"coconut search: error: {error}") from None
+    return tuple(domains)
+
+
+def _cmd_search(args: argparse.Namespace) -> int:
+    from repro.experiments.capacity import CAPACITY_SPACES
+    from repro.search import CapacitySearch, Domain, SearchSpace, SustainabilityJudge
+
+    preset = CAPACITY_SPACES[args.system].rate
+    try:
+        rate = Domain(
+            name="rate_limit",
+            low=args.rate_min if args.rate_min is not None else preset.low,
+            high=args.rate_max if args.rate_max is not None else preset.high,
+            step=args.rate_step if args.rate_step is not None else preset.step,
+        )
+        space = SearchSpace(rate=rate, params=_parse_search_params(args.search_param))
+        judge = SustainabilityJudge(max_loss_fraction=args.max_loss,
+                                    slo_latency=args.slo)
+    except ValueError as error:
+        raise SystemExit(f"coconut search: error: {error}")
+    config_kwargs: typing.Dict[str, object] = dict(
+        params=_parse_params(args.param),
+        ops_per_transaction=args.ops,
+        txs_per_batch=args.batch,
+        node_count=args.nodes,
+    )
+    check = args.check or args.check_level is not None
+    executor = _build_executor(args)
+    if check and executor is not None:
+        raise SystemExit(
+            "coconut search: error: --check runs serially; drop --jobs/--cache-dir "
+            "(cached units do not carry invariant reports)"
+        )
+    try:
+        search = CapacitySearch(
+            system=args.system,
+            iel=args.iel,
+            space=space,
+            phase=args.phase,
+            strategy=args.strategy,
+            judge=judge,
+            config_kwargs=config_kwargs,
+            scale=args.scale,
+            repetitions=args.repetitions,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        raise SystemExit(f"coconut search: error: {error}")
+    tracer = None
+    if args.trace:
+        from repro.trace import TraceConfig, Tracer
+
+        trace_dir = os.path.dirname(os.path.abspath(args.trace))
+        if not os.path.isdir(trace_dir):
+            raise SystemExit(
+                f"coconut search: error: trace directory does not exist: {trace_dir}")
+        tracer = Tracer(TraceConfig())
+    report = search.run(
+        executor=executor,
+        tracer=tracer,
+        progress=print if args.verbose else None,
+        check=check,
+        check_level=args.check_level or "basic",
+    )
+    print(report.render())
+    if executor is not None:
+        print(executor.summary())
+    if args.output:
+        import json
+
+        with open(args.output, "w") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report -> {args.output}")
+    if tracer is not None:
+        _export_trace(tracer, args)
+    if check:
+        failed = [r for r in search.last_invariants if not r.ok]
+        print(f"invariants: {len(search.last_invariants) - len(failed)} probes ok, "
+              f"{len(failed)} with violations")
+        if failed:
+            return 1
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser."""
     parser = argparse.ArgumentParser(
@@ -243,7 +374,7 @@ def build_parser() -> argparse.ArgumentParser:
     experiment_parser.add_argument("experiment_id", choices=EXPERIMENT_IDS)
     experiment_parser.add_argument("--scale", type=float, default=None)
     experiment_parser.add_argument("--systems", help="comma-separated subset (figures only)")
-    experiment_parser.add_argument("--jobs", type=int, default=1,
+    experiment_parser.add_argument("--jobs", type=_positive_int, default=1,
                                    help="worker processes for independent cases "
                                         "(1 = in-process; results are identical "
                                         "for any jobs count)")
@@ -259,12 +390,77 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sweep_parser.add_argument("sweep_id", choices=sorted(SWEEPS))
     sweep_parser.add_argument("--scale", type=float, default=None)
-    sweep_parser.add_argument("--jobs", type=int, default=1,
+    sweep_parser.add_argument("--jobs", type=_positive_int, default=1,
                               help="worker processes for independent sweep points")
     sweep_parser.add_argument("--cache-dir", metavar="PATH",
                               help="content-addressed result cache directory")
     sweep_parser.add_argument("--verbose", action="store_true")
     sweep_parser.set_defaults(handler=_cmd_sweep)
+
+    search_parser = subparsers.add_parser(
+        "search", help="find a system's maximum sustainable throughput"
+    )
+    search_parser.add_argument("--system", required=True, choices=SYSTEM_NAMES)
+    search_parser.add_argument("--iel", default="KeyValue", choices=sorted(UNIT_PHASES))
+    search_parser.add_argument("--phase", default=None,
+                               help="phase the judge watches (default: the "
+                                    "phase the paper reports for the IEL)")
+    search_parser.add_argument("--strategy", choices=("bisect", "grid"),
+                               default="bisect",
+                               help="bisect = exponential ramp-up then bisection "
+                                    "(the paper's manual procedure, mechanized); "
+                                    "grid = exhaustive oracle")
+    search_parser.add_argument("--rate-min", type=_positive_int, default=None,
+                               help="lowest per-client rate to consider "
+                                    "(default: the system's preset window)")
+    search_parser.add_argument("--rate-max", type=_positive_int, default=None,
+                               help="highest per-client rate to consider")
+    search_parser.add_argument("--rate-step", type=_positive_int, default=None,
+                               help="rate grid step (the knee is resolved to "
+                                    "one step)")
+    search_parser.add_argument("--search-param", action="append", default=[],
+                               metavar="NAME=LOW:HIGH:STEP",
+                               help="also search a system parameter's domain, "
+                                    "e.g. MaxMessageCount=100:2000:100 "
+                                    "(repeatable; grids are crossed)")
+    search_parser.add_argument("--param", action="append", default=[],
+                               help="fixed system parameter, key=value (repeatable)")
+    search_parser.add_argument("--ops", type=int, default=1,
+                               help="BitShares operations per transaction")
+    search_parser.add_argument("--batch", type=int, default=1,
+                               help="Sawtooth transactions per batch")
+    search_parser.add_argument("--nodes", type=int, default=4)
+    search_parser.add_argument("--max-loss", type=float, default=0.02,
+                               help="tolerated lost-transaction fraction "
+                                    "(default: 0.02)")
+    search_parser.add_argument("--slo", type=float, default=None,
+                               help="finalization-latency SLO in seconds "
+                                    "(default: none — loss/drain only)")
+    search_parser.add_argument("--scale", type=float, default=0.05,
+                               help="window scale per probe (rate metrics are "
+                                    "stable across scale)")
+    search_parser.add_argument("--repetitions", type=int, default=1)
+    search_parser.add_argument("--seed", type=int, default=0)
+    search_parser.add_argument("--jobs", type=_positive_int, default=1,
+                               help="worker processes for independent probes "
+                                    "of one search round")
+    search_parser.add_argument("--cache-dir", metavar="PATH",
+                               help="content-addressed result cache: repeated "
+                                    "probes (e.g. a grid oracle after a "
+                                    "bisection) are not re-run")
+    search_parser.add_argument("--check", action="store_true",
+                               help="run the protocol invariant oracles on every "
+                                    "probe; violations exit non-zero")
+    search_parser.add_argument("--check-level", choices=("basic", "strict"),
+                               default=None, help="implies --check")
+    search_parser.add_argument("--output", metavar="PATH",
+                               help="write the capacity report as JSON to PATH")
+    search_parser.add_argument("--trace", metavar="PATH",
+                               help="record search-level probe spans to PATH")
+    search_parser.add_argument("--trace-format", choices=("chrome", "jsonl"),
+                               default="chrome")
+    search_parser.add_argument("--verbose", action="store_true")
+    search_parser.set_defaults(handler=_cmd_search)
 
     return parser
 

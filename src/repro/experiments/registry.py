@@ -5,6 +5,11 @@ from __future__ import annotations
 import typing
 
 from repro.experiments import tables
+from repro.experiments.capacity import (
+    capacity_bankingapp,
+    capacity_donothing,
+    capacity_keyvalue,
+)
 from repro.experiments.figures import (
     ScalabilityExperiment,
     fig3_heatmap,
@@ -19,6 +24,9 @@ _BUILDERS: typing.Dict[str, typing.Callable[[], object]] = {
     **tables.TABLE_BUILDERS,
     "resilience_leader_crash": resilience_leader_crash,
     "resilience_partition": resilience_partition,
+    "capacity_donothing": capacity_donothing,
+    "capacity_keyvalue": capacity_keyvalue,
+    "capacity_bankingapp": capacity_bankingapp,
 }
 
 #: Every reproducible artifact, in paper order.

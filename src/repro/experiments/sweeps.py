@@ -117,21 +117,36 @@ class ParameterSweep:
         executor: typing.Optional["Executor"] = None,
     ) -> SweepRun:
         """Execute the sweep, optionally fanning points out over an executor."""
+        from repro.parallel.fingerprint import unit_fingerprint
+
         configs = [
             self.build_config(value, scale=scale, repetitions=repetitions)
             for value in self.values
         ]
+        # Overlapping grid axes (repeated swept values, or values that
+        # collapse to one config) must not dispatch duplicate units: the
+        # executor would run them twice and count one as a cache hit.
+        # Dedupe by config fingerprint, run each distinct unit once, and
+        # fan the result back out to every point that shares it.
+        fingerprints = [unit_fingerprint(config) for config in configs]
+        distinct: typing.Dict[str, BenchmarkConfig] = {}
+        for fingerprint, config in zip(fingerprints, configs):
+            distinct.setdefault(fingerprint, config)
+        unique_configs = list(distinct.values())
         if executor is not None:
-            units = [outcome.result for outcome in executor.run_units(configs)]
+            unique_units = [
+                outcome.result for outcome in executor.run_units(unique_configs)
+            ]
         else:
             # Sweeps run many units back to back; retaining each unit's
             # full simulated rig would accumulate every deployment in
             # memory (run_many drops rigs).
             runner = runner or BenchmarkRunner(keep_last_rig=False)
-            units = runner.run_many(configs)
+            unique_units = runner.run_many(unique_configs)
+        by_fingerprint = dict(zip(distinct.keys(), unique_units))
         points = [
-            SweepPoint(value=value, phase_result=unit.phase(self.phase))
-            for value, unit in zip(self.values, units)
+            SweepPoint(value=value, phase_result=by_fingerprint[fingerprint].phase(self.phase))
+            for value, fingerprint in zip(self.values, fingerprints)
         ]
         return SweepRun(
             sweep_id=self.sweep_id,

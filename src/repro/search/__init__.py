@@ -1,0 +1,43 @@
+"""Automated capacity search: find maximum sustainable throughput.
+
+The paper's headline numbers come from manually sweeping the rate
+limiter until each system saturates; this package mechanizes that
+procedure as a deterministic operating-point search. A
+:class:`CapacitySearch` drives ordinary benchmark units over a
+quantized :class:`SearchSpace`, a :class:`SustainabilityJudge`
+classifies each probe from the existing Section 4.5 metrics, and a
+strategy (exponential ramp-up + bisection, or an exhaustive grid
+oracle) converges on the knee. Probes fan out through
+:mod:`repro.parallel` and its result cache; the outcome is a
+:class:`CapacityReport` with the MTPS confidence interval, the knee
+configuration and the full probe trajectory.
+"""
+
+from repro.search.engine import REPORTED_PHASES, CapacitySearch
+from repro.search.judge import SustainabilityJudge, Verdict
+from repro.search.report import CapacityReport, ProbeRecord
+from repro.search.space import Domain, SearchSpace, rate_space
+from repro.search.strategy import (
+    STRATEGIES,
+    BisectionStrategy,
+    GridStrategy,
+    RateStrategy,
+    build_strategy,
+)
+
+__all__ = [
+    "BisectionStrategy",
+    "CapacityReport",
+    "CapacitySearch",
+    "Domain",
+    "GridStrategy",
+    "ProbeRecord",
+    "RateStrategy",
+    "REPORTED_PHASES",
+    "STRATEGIES",
+    "SearchSpace",
+    "SustainabilityJudge",
+    "Verdict",
+    "build_strategy",
+    "rate_space",
+]

@@ -1,0 +1,120 @@
+"""Saturation detection: is an operating point sustainable?
+
+The paper's manual procedure raises the rate limiter until the system
+"can no longer keep up", visible in its tables as lost transactions,
+confirmations that run into the listen window, and finalization
+latencies that blow up (Sections 4.4-4.5). The judge mechanizes exactly
+those three signals, reading them off the :class:`PhaseMetrics` the
+measurement path already produces — saturation detection shares the
+Section 4.5 formulas with the reported numbers instead of inventing a
+parallel metric.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.coconut.config import BenchmarkConfig
+from repro.coconut.results import PhaseResult
+
+
+@dataclasses.dataclass(frozen=True)
+class Verdict:
+    """One probe's classification with the evidence behind it."""
+
+    sustainable: bool
+    tps: float
+    mean_fls: float
+    loss_fraction: float
+    #: Mean phase duration over the send window plus drain allowance
+    #: (> 1.0 means the backlog was still draining when clients stopped
+    #: listening).
+    drain_ratio: float
+    reasons: typing.Tuple[str, ...] = ()
+
+    def describe(self) -> str:
+        """``ok`` or the joined failure reasons."""
+        return "ok" if self.sustainable else "; ".join(self.reasons)
+
+
+class SustainabilityJudge:
+    """Classifies probes from their phase metrics.
+
+    A probe is *sustainable* when all of these hold:
+
+    * **Losses** — at most ``max_loss_fraction`` of the expected
+      transactions never confirmed (the even-numbered tables' NoT gap).
+    * **Drain** — the measured duration (Formula 3) stays within the
+      send window plus ``drain_fraction`` of the listen tail; a system
+      still confirming when the listen window closes has an undrained
+      backlog, the paper's liveness signal.
+    * **Latency SLO** — when ``slo_latency`` is set, the MFLS
+      (Formula 1) stays at or below it. BLOCKBENCH-style peak-under-SLO
+      searches set this; the default (None) reproduces the paper's
+      loss-driven procedure.
+    """
+
+    def __init__(
+        self,
+        max_loss_fraction: float = 0.02,
+        drain_fraction: float = 0.95,
+        slo_latency: typing.Optional[float] = None,
+    ) -> None:
+        if not 0.0 <= max_loss_fraction < 1.0:
+            raise ValueError(
+                f"max_loss_fraction must be in [0, 1), got {max_loss_fraction}"
+            )
+        if not 0.0 < drain_fraction <= 1.0:
+            raise ValueError(f"drain_fraction must be in (0, 1], got {drain_fraction}")
+        if slo_latency is not None and slo_latency <= 0:
+            raise ValueError(f"slo_latency must be > 0, got {slo_latency}")
+        self.max_loss_fraction = max_loss_fraction
+        self.drain_fraction = drain_fraction
+        self.slo_latency = slo_latency
+
+    def judge(self, phase_result: PhaseResult, config: BenchmarkConfig) -> Verdict:
+        """Classify one probe's reported phase."""
+        reasons: typing.List[str] = []
+        loss = phase_result.loss_fraction
+        tps = phase_result.mtps.mean
+        mean_fls = phase_result.mfls.mean
+        duration = phase_result.duration.mean
+        allowed = config.scaled_send + self.drain_fraction * (
+            config.scaled_listen - config.scaled_send
+        )
+        drain_ratio = duration / allowed if allowed > 0 else 0.0
+        if phase_result.received.mean == 0:
+            reasons.append("no transactions confirmed")
+        if loss > self.max_loss_fraction:
+            reasons.append(
+                f"lost {loss:.1%} of expected transactions "
+                f"(> {self.max_loss_fraction:.1%})"
+            )
+        if drain_ratio > 1.0:
+            reasons.append(
+                f"confirmations ran into the listen window "
+                f"(duration {duration:.1f}s > {allowed:.1f}s)"
+            )
+        if self.slo_latency is not None and mean_fls > self.slo_latency:
+            reasons.append(
+                f"MFLS {mean_fls:.2f}s exceeds the {self.slo_latency:.2f}s SLO"
+            )
+        return Verdict(
+            sustainable=not reasons,
+            tps=tps,
+            mean_fls=mean_fls,
+            loss_fraction=loss,
+            drain_ratio=drain_ratio,
+            reasons=tuple(reasons),
+        )
+
+    def describe(self) -> str:
+        """One-line criteria rendering for reports."""
+        parts = [
+            f"loss <= {self.max_loss_fraction:.1%}",
+            f"drain <= {self.drain_fraction:.0%} of listen tail",
+        ]
+        if self.slo_latency is not None:
+            parts.append(f"MFLS <= {self.slo_latency:.2f}s")
+        return ", ".join(parts)

@@ -1,0 +1,175 @@
+"""Capacity-search results: probe trajectory and knee summary.
+
+A :class:`CapacityReport` is the searchable analogue of the paper's
+per-system table rows: the maximum sustainable throughput (MTPS with the
+Student-t confidence interval the rest of the package uses), the knee
+configuration that produced it, and the full probe trajectory so the
+search itself is auditable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import typing
+
+from repro.coconut.metrics import MetricSummary
+
+
+@dataclasses.dataclass
+class ProbeRecord:
+    """One executed probe, in search order."""
+
+    sequence: int
+    rate_limit: int
+    aggregate_rate: int
+    params: typing.Dict[str, object]
+    tps: float
+    mean_fls: float
+    loss_fraction: float
+    sustainable: bool
+    reasons: typing.Tuple[str, ...] = ()
+    cached: bool = False
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation."""
+        data = dataclasses.asdict(self)
+        data["reasons"] = list(self.reasons)
+        return data
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ProbeRecord":
+        """Inverse of :meth:`to_dict`."""
+        data = dict(data)
+        data["reasons"] = tuple(data.get("reasons", ()))
+        return cls(**data)
+
+
+@dataclasses.dataclass
+class CapacityReport:
+    """The outcome of one capacity search."""
+
+    system: str
+    iel: str
+    phase: str
+    strategy: str
+    space: str
+    scale: float
+    repetitions: int
+    seed: int
+    criteria: str
+    probes: typing.List[ProbeRecord]
+    #: Per-client rate limiter at the knee (None: nothing sustainable).
+    knee_rate: typing.Optional[int]
+    #: The paper's RL column: knee rate times the client count.
+    knee_aggregate_rate: typing.Optional[int]
+    #: Swept system parameters at the knee ({} for rate-only spaces).
+    knee_params: typing.Dict[str, object]
+    #: MTPS at the knee across repetitions (Student-t 95% CI).
+    mtps: typing.Optional[MetricSummary]
+    #: MFLS at the knee across repetitions.
+    mfls: typing.Optional[MetricSummary]
+
+    @property
+    def found(self) -> bool:
+        """Whether any probed operating point was sustainable."""
+        return self.knee_rate is not None
+
+    @property
+    def probe_count(self) -> int:
+        """Probes issued (cache hits included — they are still probes)."""
+        return len(self.probes)
+
+    def verdict(self) -> str:
+        """One-line outcome for tables and CLI output."""
+        if not self.found:
+            return (
+                f"no sustainable operating point in {self.space} "
+                f"at scale {self.scale}"
+            )
+        assert self.mtps is not None
+        return (
+            f"MTPS={self.mtps.format()} at RL={self.knee_aggregate_rate} "
+            f"({self.probe_count} probes)"
+        )
+
+    def render(self) -> str:
+        """Trajectory table plus the knee summary."""
+        from repro.coconut.report import format_table
+
+        rows = []
+        for probe in self.probes:
+            setting = f"RL={probe.aggregate_rate}"
+            if probe.params:
+                setting += " " + " ".join(
+                    f"{key}={value}" for key, value in sorted(probe.params.items())
+                )
+            rows.append(
+                [
+                    str(probe.sequence),
+                    setting,
+                    f"{probe.tps:.2f}",
+                    f"{probe.mean_fls:.2f}",
+                    f"{probe.loss_fraction:.1%}",
+                    ("cached " if probe.cached else "")
+                    + ("sustainable" if probe.sustainable else "; ".join(probe.reasons)),
+                ]
+            )
+        table = format_table(
+            ["#", "Setting", "TPS", "FLS (s)", "Loss", "Verdict"], rows
+        )
+        header = (
+            f"Capacity search: {self.system} {self.iel}-{self.phase} "
+            f"[{self.strategy}] over {self.space}\n"
+            f"criteria: {self.criteria}; scale={self.scale} "
+            f"repetitions={self.repetitions} seed={self.seed}"
+        )
+        knee = f"knee: {self.verdict()}"
+        if self.found and self.knee_params:
+            knee += " " + " ".join(
+                f"{key}={value}" for key, value in sorted(self.knee_params.items())
+            )
+        if self.found:
+            assert self.mfls is not None
+            knee += f"; MFLS={self.mfls.format()}s"
+        return f"{header}\n{table}\n{knee}"
+
+    def to_dict(self) -> dict:
+        """JSON-ready representation (deterministic: no wall times)."""
+        return {
+            "system": self.system,
+            "iel": self.iel,
+            "phase": self.phase,
+            "strategy": self.strategy,
+            "space": self.space,
+            "scale": self.scale,
+            "repetitions": self.repetitions,
+            "seed": self.seed,
+            "criteria": self.criteria,
+            "probes": [probe.to_dict() for probe in self.probes],
+            "knee_rate": self.knee_rate,
+            "knee_aggregate_rate": self.knee_aggregate_rate,
+            "knee_params": self.knee_params,
+            "mtps": None if self.mtps is None else dataclasses.asdict(self.mtps),
+            "mfls": None if self.mfls is None else dataclasses.asdict(self.mfls),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "CapacityReport":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            system=data["system"],
+            iel=data["iel"],
+            phase=data["phase"],
+            strategy=data["strategy"],
+            space=data["space"],
+            scale=data["scale"],
+            repetitions=data["repetitions"],
+            seed=data["seed"],
+            criteria=data["criteria"],
+            probes=[ProbeRecord.from_dict(item) for item in data["probes"]],
+            knee_rate=data["knee_rate"],
+            knee_aggregate_rate=data["knee_aggregate_rate"],
+            knee_params=data["knee_params"],
+            mtps=None if data["mtps"] is None else MetricSummary(**data["mtps"]),
+            mfls=None if data["mfls"] is None else MetricSummary(**data["mfls"]),
+        )

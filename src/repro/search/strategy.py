@@ -1,0 +1,158 @@
+"""Rate-search strategies: how to pick the next probe.
+
+A strategy explores one :class:`~repro.search.space.Domain` of rate
+settings, observing a sustainable/saturated verdict per probe, and
+converges on the *knee*: the highest grid point judged sustainable.
+Strategies are pure state machines over their observations — no RNG, no
+clock — so one (space, response) pair always yields one probe sequence,
+which is what makes search reports reproducible artifacts.
+
+Two strategies:
+
+* :class:`BisectionStrategy` — the paper's manual procedure mechanized:
+  exponential ramp-up from the bottom of the domain until the first
+  saturated probe, then bisection of the bracket down to one step.
+  O(log n) probes on the monotone response curves saturation produces
+  (Gromit, arXiv:2208.11254, uses the same shape for its saturation
+  search).
+* :class:`GridStrategy` — probe every grid point; the oracle baseline
+  the CI smoke compares bisection against, and the right tool for
+  non-monotone responses.
+"""
+
+from __future__ import annotations
+
+import typing
+
+from repro.search.space import Domain
+
+Rate = typing.Union[int, float]
+
+
+class RateStrategy:
+    """Base class: a resumable probe planner over one rate domain."""
+
+    name = "abstract"
+
+    def __init__(self, domain: Domain) -> None:
+        self.domain = domain
+
+    def next_rates(self) -> typing.List[Rate]:
+        """Rates to probe next, in order (empty once converged)."""
+        raise NotImplementedError
+
+    def observe(self, rate: Rate, sustainable: bool) -> None:
+        """Feed one probe's verdict back."""
+        raise NotImplementedError
+
+    def done(self) -> bool:
+        """Whether the strategy has converged."""
+        raise NotImplementedError
+
+    def knee(self) -> typing.Optional[Rate]:
+        """The highest sustainable rate found (None: nothing sustainable)."""
+        raise NotImplementedError
+
+
+class BisectionStrategy(RateStrategy):
+    """Exponential ramp-up, then bisection on the saturation bracket."""
+
+    name = "bisect"
+
+    def __init__(self, domain: Domain, ramp_factor: float = 2.0) -> None:
+        super().__init__(domain)
+        if ramp_factor <= 1.0:
+            raise ValueError(f"ramp_factor must be > 1, got {ramp_factor}")
+        self.ramp_factor = ramp_factor
+        #: Highest grid index judged sustainable (None until one is).
+        self._lo: typing.Optional[int] = None
+        #: Lowest grid index judged saturated (None until one is).
+        self._hi: typing.Optional[int] = None
+        self._pending: typing.Optional[int] = 0  # start at domain.low
+        self._done = False
+
+    def next_rates(self) -> typing.List[Rate]:
+        if self._done or self._pending is None:
+            return []
+        return [self.domain.value_at(self._pending)]
+
+    def observe(self, rate: Rate, sustainable: bool) -> None:
+        index = self.domain.index_of(rate)
+        if sustainable:
+            self._lo = index if self._lo is None else max(self._lo, index)
+        else:
+            self._hi = index if self._hi is None else min(self._hi, index)
+        self._pending = self._plan()
+        if self._pending is None:
+            self._done = True
+
+    def _plan(self) -> typing.Optional[int]:
+        """The next grid index to probe, or None once converged."""
+        if self._hi is None:
+            # Still ramping: every probe so far was sustainable.
+            assert self._lo is not None
+            if self._lo >= self.domain.count - 1:
+                return None  # the whole domain is sustainable
+            value = self.domain.value_at(self._lo) * self.ramp_factor
+            # Quantization of a small ramp can land on the same index;
+            # force progress by at least one step.
+            return max(self.domain.index_of(value), self._lo + 1)
+        if self._lo is None:
+            # The very first probe (domain.low) already saturated.
+            return None if self._hi == 0 else 0
+        if self._hi - self._lo <= 1:
+            return None  # bracket is one step wide: converged
+        return (self._lo + self._hi) // 2
+
+    def done(self) -> bool:
+        return self._done
+
+    def knee(self) -> typing.Optional[Rate]:
+        if not self._done or self._lo is None:
+            return None
+        return self.domain.value_at(self._lo)
+
+
+class GridStrategy(RateStrategy):
+    """Probe the whole grid; the exhaustive oracle."""
+
+    name = "grid"
+
+    def __init__(self, domain: Domain) -> None:
+        super().__init__(domain)
+        self._issued = False
+        self._observed: typing.Dict[int, bool] = {}
+
+    def next_rates(self) -> typing.List[Rate]:
+        if self._issued:
+            return []
+        self._issued = True
+        return list(self.domain.grid())
+
+    def observe(self, rate: Rate, sustainable: bool) -> None:
+        self._observed[self.domain.index_of(rate)] = sustainable
+
+    def done(self) -> bool:
+        return self._issued and len(self._observed) >= self.domain.count
+
+    def knee(self) -> typing.Optional[Rate]:
+        if not self.done():
+            return None
+        sustainable = [index for index, ok in self._observed.items() if ok]
+        if not sustainable:
+            return None
+        return self.domain.value_at(max(sustainable))
+
+
+#: Strategy name -> class, for the CLI and experiment definitions.
+STRATEGIES: typing.Dict[str, typing.Type[RateStrategy]] = {
+    BisectionStrategy.name: BisectionStrategy,
+    GridStrategy.name: GridStrategy,
+}
+
+
+def build_strategy(name: str, domain: Domain) -> RateStrategy:
+    """Construct one strategy by name."""
+    if name not in STRATEGIES:
+        raise KeyError(f"unknown strategy {name!r}; known: {sorted(STRATEGIES)}")
+    return STRATEGIES[name](domain)

@@ -5,8 +5,9 @@ records. Categories partition the instrumentation hooks by layer —
 ``sim`` (kernel dispatch), ``net`` (message events), ``consensus``
 (protocol rounds/phases), ``chain`` (block finality), ``iel`` (payload
 execution), ``storage`` (block persistence), ``client`` (per-transaction
-submit→confirm spans), ``bench`` (phase windows) and ``faults``
-(injected failure actions). Sampling is
+submit→confirm spans), ``bench`` (phase windows), ``faults``
+(injected failure actions) and ``search`` (capacity-search probes, on
+the wall clock). Sampling is
 deterministic — a hash of the record key, not an RNG draw — so a traced
 run stays reproducible and two runs with the same seed sample the same
 transactions.
@@ -29,6 +30,7 @@ CATEGORIES: typing.Tuple[str, ...] = (
     "client",
     "bench",
     "faults",
+    "search",
 )
 
 #: Resolution of the deterministic sampling hash.

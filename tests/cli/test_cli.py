@@ -177,9 +177,20 @@ class TestExperimentCommand:
 
 
 class TestParallelFlags:
-    def test_jobs_below_one_rejected(self):
-        with pytest.raises(SystemExit, match="--jobs must be >= 1"):
-            main(["experiment", "table15_16", "--jobs", "0"])
+    @pytest.mark.parametrize("bad", ["0", "-2", "two"])
+    @pytest.mark.parametrize("verb", [
+        ["experiment", "table15_16"],
+        ["sweep", "sweep_fabric_mm"],
+        ["search", "--system", "quorum"],
+    ])
+    def test_jobs_below_one_rejected_at_parse_time(self, verb, bad, capsys):
+        # Rejected before any unit runs, with argparse's usage-error exit.
+        with pytest.raises(SystemExit) as excinfo:
+            main(verb + ["--jobs", bad])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "argument --jobs" in err
+        assert ("must be >= 1" in err) or ("must be a positive integer" in err)
 
     def test_experiment_with_jobs_matches_serial(self, capsys):
         assert main(["experiment", "table15_16", "--scale", "0.05"]) == 0
@@ -217,3 +228,90 @@ class TestParallelFlags:
         assert "executor: 4 ran, 0 cached (jobs=1)" in capsys.readouterr().out
         assert main(args) == 0
         assert "executor: 0 ran, 4 cached (jobs=1)" in capsys.readouterr().out
+
+
+class TestSearchCommand:
+    def test_search_runs_with_preset_space(self, capsys):
+        assert main(["search", "--system", "corda_os", "--verbose"]) == 0
+        out = capsys.readouterr().out
+        assert "probe" in out
+        assert "knee" in out
+        assert "corda_os" in out
+
+    def test_list_shows_strategies_and_capacity_experiments(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "strategies:" in out and "bisect, grid" in out
+        assert "capacity_keyvalue" in out
+
+    def test_explicit_space_and_output_json(self, tmp_path, capsys):
+        output = tmp_path / "report.json"
+        assert main(["search", "--system", "corda_os",
+                     "--rate-min", "1", "--rate-max", "8", "--rate-step", "1",
+                     "--output", str(output)]) == 0
+        data = json.loads(output.read_text())
+        assert data["system"] == "corda_os"
+        assert data["strategy"] == "bisect"
+        assert data["knee_rate"] is not None
+        assert data["probes"]
+
+    def test_grid_strategy_with_executor_and_cache(self, tmp_path, capsys):
+        args = ["search", "--system", "corda_os", "--strategy", "grid",
+                "--rate-min", "2", "--rate-max", "8", "--rate-step", "2",
+                "--jobs", "2", "--cache-dir", str(tmp_path)]
+        assert main(args) == 0
+        cold_out = capsys.readouterr().out
+        assert "executor: 4 ran, 0 cached (jobs=2)" in cold_out
+        # A re-run restores every probe from the cache.
+        assert main(args) == 0
+        warm_out = capsys.readouterr().out
+        assert "executor: 0 ran, 4 cached (jobs=2)" in warm_out
+
+    def test_grid_warms_bisection_cache(self, tmp_path, capsys):
+        space = ["--rate-min", "2", "--rate-max", "8", "--rate-step", "2"]
+        assert main(["search", "--system", "corda_os", "--strategy", "grid",
+                     "--cache-dir", str(tmp_path)] + space) == 0
+        capsys.readouterr()
+        # Bisection probes a subset of the same grid: all cache hits.
+        assert main(["search", "--system", "corda_os", "--strategy", "bisect",
+                     "--cache-dir", str(tmp_path)] + space) == 0
+        assert "0 ran" in capsys.readouterr().out
+
+    def test_invalid_rate_window_is_a_usage_error(self):
+        with pytest.raises(SystemExit, match="coconut search: error"):
+            main(["search", "--system", "corda_os",
+                  "--rate-min", "10", "--rate-max", "5"])
+
+    def test_unknown_strategy_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["search", "--system", "corda_os", "--strategy", "annealing"])
+
+    def test_check_with_jobs_rejected(self):
+        with pytest.raises(SystemExit, match="serially"):
+            main(["search", "--system", "corda_os", "--check", "--jobs", "2"])
+
+    def test_checked_search_reports_invariants(self, capsys):
+        assert main(["search", "--system", "corda_os", "--check",
+                     "--rate-min", "1", "--rate-max", "4",
+                     "--rate-step", "1"]) == 0
+        assert "invariants:" in capsys.readouterr().out
+
+    def test_search_param_spec_parsing(self):
+        from repro.cli import _parse_search_params
+
+        domains = _parse_search_params(["block_interval=1:4:1"])
+        assert len(domains) == 1
+        assert domains[0].name == "block_interval"
+        assert domains[0].grid() == (1, 2, 3, 4)
+        (float_domain,) = _parse_search_params(["delay=0.5:1.5:0.5"])
+        assert float_domain.integer is False
+        with pytest.raises(SystemExit):
+            main(["search", "--system", "corda_os", "--search-param", "oops"])
+
+    def test_trace_export(self, tmp_path, capsys):
+        trace_path = tmp_path / "search.json"
+        assert main(["search", "--system", "corda_os",
+                     "--trace", str(trace_path)]) == 0
+        payload = json.loads(trace_path.read_text())
+        events = payload["traceEvents"]
+        assert any(event.get("cat") == "search" for event in events)

@@ -20,6 +20,7 @@ class TestRegistry:
             "table7_8", "table9_10", "table11_12", "table13_14",
             "table15_16", "table17_18", "table19_20",
             "resilience_leader_crash", "resilience_partition",
+            "capacity_donothing", "capacity_keyvalue", "capacity_bankingapp",
         }
 
     def test_unknown_experiment(self):

@@ -1,0 +1,96 @@
+"""Tests for the sustainability judge."""
+
+import pytest
+
+from repro.coconut.config import BenchmarkConfig
+from repro.coconut.metrics import PhaseMetrics
+from repro.coconut.results import PhaseResult
+from repro.search.judge import SustainabilityJudge
+
+
+def phase_result(expected=1000, received=1000, duration=30.0, mean_fls=1.0):
+    return PhaseResult(phase="DoNothing", repetitions=[PhaseMetrics(
+        phase="DoNothing", repetition=0, expected=expected, received=received,
+        failed=0, t_first_send=0.0, t_last_receive=duration, duration=duration,
+        tps=received / duration if duration else 0.0, mean_fls=mean_fls,
+    )])
+
+
+CONFIG = BenchmarkConfig(system="fabric", iel="DoNothing", rate_limit=10,
+                         scale=0.1, seed=1)
+# scale=0.1: send window 30 s, listen window 33 s -> drain allowance
+# 30 + 0.95 * 3 = 32.85 s.
+
+
+class TestVerdicts:
+    def test_healthy_probe_is_sustainable(self):
+        verdict = SustainabilityJudge().judge(phase_result(), CONFIG)
+        assert verdict.sustainable
+        assert verdict.reasons == ()
+        assert verdict.describe() == "ok"
+        assert verdict.loss_fraction == 0.0
+
+    def test_losses_flagged(self):
+        verdict = SustainabilityJudge().judge(
+            phase_result(expected=1000, received=900), CONFIG)
+        assert not verdict.sustainable
+        assert any("lost" in reason for reason in verdict.reasons)
+        assert verdict.loss_fraction == pytest.approx(0.1)
+
+    def test_loss_within_tolerance_passes(self):
+        verdict = SustainabilityJudge(max_loss_fraction=0.02).judge(
+            phase_result(expected=1000, received=985), CONFIG)
+        assert verdict.sustainable
+
+    def test_listen_window_drain_flagged(self):
+        # Duration beyond send + 95% of the listen tail: still draining.
+        verdict = SustainabilityJudge().judge(
+            phase_result(duration=32.95), CONFIG)
+        assert not verdict.sustainable
+        assert any("listen window" in reason for reason in verdict.reasons)
+        assert verdict.drain_ratio > 1.0
+
+    def test_duration_within_allowance_passes(self):
+        verdict = SustainabilityJudge().judge(
+            phase_result(duration=32.0), CONFIG)
+        assert verdict.sustainable
+
+    def test_zero_received_flagged(self):
+        verdict = SustainabilityJudge().judge(
+            phase_result(expected=100, received=0, duration=0.0), CONFIG)
+        assert not verdict.sustainable
+        assert "no transactions confirmed" in verdict.reasons
+
+    def test_latency_slo(self):
+        slow = phase_result(mean_fls=5.0)
+        assert SustainabilityJudge().judge(slow, CONFIG).sustainable
+        verdict = SustainabilityJudge(slo_latency=2.0).judge(slow, CONFIG)
+        assert not verdict.sustainable
+        assert any("SLO" in reason for reason in verdict.reasons)
+
+    def test_multiple_reasons_accumulate(self):
+        verdict = SustainabilityJudge(slo_latency=1.0).judge(
+            phase_result(expected=1000, received=500, duration=33.0,
+                         mean_fls=9.0),
+            CONFIG,
+        )
+        assert len(verdict.reasons) == 3
+
+
+class TestValidation:
+    def test_bad_loss_fraction(self):
+        with pytest.raises(ValueError, match="max_loss_fraction"):
+            SustainabilityJudge(max_loss_fraction=1.0)
+
+    def test_bad_drain_fraction(self):
+        with pytest.raises(ValueError, match="drain_fraction"):
+            SustainabilityJudge(drain_fraction=0.0)
+
+    def test_bad_slo(self):
+        with pytest.raises(ValueError, match="slo_latency"):
+            SustainabilityJudge(slo_latency=-1.0)
+
+    def test_describe_lists_criteria(self):
+        text = SustainabilityJudge(slo_latency=2.5).describe()
+        assert "loss <= 2.0%" in text
+        assert "SLO" in text or "MFLS" in text

@@ -1,0 +1,155 @@
+"""Strategy tests against synthetic response curves — no simulation.
+
+A response curve is just a ``rate -> sustainable`` predicate; driving a
+strategy against it exercises convergence, probe budgets and determinism
+without paying for benchmark units.
+"""
+
+import math
+
+import pytest
+
+from repro.search.space import Domain
+from repro.search.strategy import (
+    STRATEGIES,
+    BisectionStrategy,
+    GridStrategy,
+    build_strategy,
+)
+
+DOMAIN = Domain(name="rate_limit", low=5, high=80, step=5)  # 16 points
+
+
+def drive(strategy, response):
+    """Run a strategy to convergence; returns the probe sequence."""
+    probed = []
+    for _round in range(1000):
+        rates = strategy.next_rates()
+        if not rates:
+            break
+        for rate in rates:
+            probed.append(rate)
+            strategy.observe(rate, response(rate))
+    assert strategy.done()
+    return probed
+
+
+def monotone(knee):
+    """The ideal saturation curve: sustainable up to the knee."""
+    return lambda rate: rate <= knee
+
+
+class TestBisection:
+    @pytest.mark.parametrize("knee", [5, 10, 35, 40, 60, 75])
+    def test_monotone_curves_converge_exactly(self, knee):
+        strategy = BisectionStrategy(DOMAIN)
+        drive(strategy, monotone(knee))
+        assert strategy.knee() == knee
+
+    def test_whole_domain_sustainable(self):
+        strategy = BisectionStrategy(DOMAIN)
+        probed = drive(strategy, lambda rate: True)
+        assert strategy.knee() == 80
+        # Exponential ramp: 5, 10, 20, 40, 80 — not the whole grid.
+        assert probed == [5, 10, 20, 40, 80]
+
+    def test_nothing_sustainable(self):
+        strategy = BisectionStrategy(DOMAIN)
+        probed = drive(strategy, lambda rate: False)
+        assert strategy.knee() is None
+        assert probed == [5]
+
+    def test_cliff_curve(self):
+        # A hard cliff (zero throughput above it) classifies the same
+        # way as a gradual knee: unsustainable is unsustainable.
+        strategy = BisectionStrategy(DOMAIN)
+        drive(strategy, lambda rate: rate < 50)
+        assert strategy.knee() == 45
+
+    def test_probe_budget_is_logarithmic(self):
+        for knee in DOMAIN.grid():
+            strategy = BisectionStrategy(DOMAIN)
+            probed = drive(strategy, monotone(knee))
+            # Ramp is <= log2(count)+1 probes, bisection <= log2(count).
+            budget = 2 * int(math.log2(DOMAIN.count)) + 2
+            assert len(probed) <= budget
+            # And always at most half of what the grid oracle spends.
+            assert len(probed) <= DOMAIN.count // 2
+
+    def test_noisy_curve_still_terminates(self):
+        # Non-monotone response: an island of failure at 20 below the
+        # real knee at 60. Bisection assumes monotonicity, so it may
+        # bracket early — but it must terminate deterministically and
+        # report a rate that was actually judged sustainable.
+        noisy = lambda rate: rate != 20 and rate <= 60
+        first = BisectionStrategy(DOMAIN)
+        second = BisectionStrategy(DOMAIN)
+        assert drive(first, noisy) == drive(second, noisy)
+        assert first.knee() == second.knee()
+        assert noisy(first.knee())
+
+    def test_determinism_same_curve_same_sequence(self):
+        for knee in (10, 35, 70):
+            runs = [drive(BisectionStrategy(DOMAIN), monotone(knee))
+                    for _ in range(3)]
+            assert runs[0] == runs[1] == runs[2]
+
+    def test_ramp_forces_progress_on_small_grids(self):
+        # With low=1 the ramp's first double (2) quantizes one step up;
+        # progress must never stall on the same index.
+        domain = Domain(name="rate_limit", low=1, high=16, step=1)
+        strategy = BisectionStrategy(domain)
+        probed = drive(strategy, monotone(4))
+        assert strategy.knee() == 4
+        assert len(probed) == len(set(probed))  # no repeated probes
+
+    def test_bad_ramp_factor(self):
+        with pytest.raises(ValueError, match="ramp_factor"):
+            BisectionStrategy(DOMAIN, ramp_factor=1.0)
+
+
+class TestGrid:
+    def test_probes_everything_once(self):
+        strategy = GridStrategy(DOMAIN)
+        probed = drive(strategy, monotone(35))
+        assert probed == list(DOMAIN.grid())
+        assert strategy.knee() == 35
+
+    def test_noisy_curve_finds_global_knee(self):
+        # The oracle tolerates non-monotone responses: it reports the
+        # highest sustainable point regardless of islands below it.
+        strategy = GridStrategy(DOMAIN)
+        drive(strategy, lambda rate: rate != 20 and rate <= 60)
+        assert strategy.knee() == 60
+
+    def test_nothing_sustainable(self):
+        strategy = GridStrategy(DOMAIN)
+        drive(strategy, lambda rate: False)
+        assert strategy.knee() is None
+
+    def test_knee_is_none_until_done(self):
+        strategy = GridStrategy(DOMAIN)
+        strategy.next_rates()
+        assert strategy.knee() is None
+
+
+class TestBisectVsGridOracle:
+    @pytest.mark.parametrize("knee", [5, 25, 40, 55, 80])
+    def test_bisect_matches_oracle_on_monotone_curves(self, knee):
+        bisect = BisectionStrategy(DOMAIN)
+        grid = GridStrategy(DOMAIN)
+        bisect_probes = drive(bisect, monotone(knee))
+        grid_probes = drive(grid, monotone(knee))
+        assert bisect.knee() == grid.knee()
+        assert len(bisect_probes) <= len(grid_probes) // 2
+
+
+class TestRegistry:
+    def test_names(self):
+        assert set(STRATEGIES) == {"bisect", "grid"}
+        assert isinstance(build_strategy("bisect", DOMAIN), BisectionStrategy)
+        assert isinstance(build_strategy("grid", DOMAIN), GridStrategy)
+
+    def test_unknown_strategy(self):
+        with pytest.raises(KeyError):
+            build_strategy("simulated_annealing", DOMAIN)
