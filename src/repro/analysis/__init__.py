@@ -2,16 +2,26 @@
 statistics, time series."""
 
 from repro.analysis.blockstats import BlockStats, collect_block_stats, production_pace_held
-from repro.analysis.compare import ShapeCheck, ordering_preserved, within_factor
+from repro.analysis.compare import (
+    LatencyProfile,
+    ShapeCheck,
+    latency_profile,
+    ordering_preserved,
+    tail_check,
+    within_factor,
+)
 from repro.analysis.timeseries import latency_percentiles, throughput_over_time
 
 __all__ = [
     "BlockStats",
+    "LatencyProfile",
     "ShapeCheck",
     "collect_block_stats",
     "latency_percentiles",
+    "latency_profile",
     "ordering_preserved",
     "production_pace_held",
+    "tail_check",
     "throughput_over_time",
     "within_factor",
 ]

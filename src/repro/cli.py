@@ -66,6 +66,18 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_workload(path: typing.Optional[str], command: str):
+    """The WorkloadSpec ``--workload`` names, or None."""
+    if not path:
+        return None
+    from repro.workloads import WorkloadSpec
+
+    try:
+        return WorkloadSpec.from_json_file(path)
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"coconut {command}: error: bad workload spec: {error}")
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     fault_plan = None
     if args.faults:
@@ -75,20 +87,25 @@ def _cmd_run(args: argparse.Namespace) -> int:
             fault_plan = FaultPlan.from_json_file(args.faults)
         except (OSError, ValueError) as error:
             raise SystemExit(f"coconut run: error: bad fault plan: {error}")
-    config = BenchmarkConfig(
-        system=args.system,
-        iel=args.iel,
-        rate_limit=args.rate,
-        params=_parse_params(args.param),
-        ops_per_transaction=args.ops,
-        txs_per_batch=args.batch,
-        node_count=args.nodes,
-        repetitions=args.repetitions,
-        latency=EUROPEAN_WAN_LATENCY if args.netem else None,
-        fault_plan=fault_plan,
-        scale=args.scale,
-        seed=args.seed,
-    )
+    workload = _load_workload(args.workload, "run")
+    try:
+        config = BenchmarkConfig(
+            system=args.system,
+            iel=args.iel,
+            rate_limit=args.rate,
+            params=_parse_params(args.param),
+            ops_per_transaction=args.ops,
+            txs_per_batch=args.batch,
+            node_count=args.nodes,
+            repetitions=args.repetitions,
+            latency=EUROPEAN_WAN_LATENCY if args.netem else None,
+            fault_plan=fault_plan,
+            workload=workload,
+            scale=args.scale,
+            seed=args.seed,
+        )
+    except ValueError as error:
+        raise SystemExit(f"coconut run: error: {error}")
     tracer = None
     if args.trace:
         from repro.trace import TraceConfig, Tracer
@@ -113,6 +130,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
                              check_level=args.check_level or "basic")
     result = runner.run(config)
     print(unit_summary(result))
+    if args.verbose:
+        from repro.coconut.report import latency_table
+
+        print(latency_table(sorted(result.phases.items())))
     for phase, report in sorted(runner.last_resilience.items()):
         print(f"resilience [{phase}]: {report.render()}")
     if runner.last_invariants is not None:
@@ -250,6 +271,13 @@ def _cmd_search(args: argparse.Namespace) -> int:
         txs_per_batch=args.batch,
         node_count=args.nodes,
     )
+    workload = _load_workload(args.workload, "search")
+    if workload is not None:
+        try:
+            workload.validate_for(args.iel, UNIT_PHASES[args.iel])
+        except ValueError as error:
+            raise SystemExit(f"coconut search: error: {error}")
+        config_kwargs["workload"] = workload
     check = args.check or args.check_level is not None
     executor = _build_executor(args)
     if check and executor is not None:
@@ -338,6 +366,11 @@ def build_parser() -> argparse.ArgumentParser:
                             help="inject faults from a JSON fault plan "
                                  '({"actions": [...]}; times are offsets '
                                  "from the first phase start)")
+    run_parser.add_argument("--workload", metavar="PLAN_JSON",
+                            help="offer load from a JSON workload spec "
+                                 "(arrival process, access distribution, "
+                                 "operation mix, per-phase overrides); "
+                                 "see examples/workloads/")
     run_parser.add_argument("--scale", type=float, default=0.1,
                             help="window scale (1.0 = the paper's 300 s send window)")
     run_parser.add_argument("--seed", type=int, default=0)
@@ -453,6 +486,9 @@ def build_parser() -> argparse.ArgumentParser:
                                     "probe; violations exit non-zero")
     search_parser.add_argument("--check-level", choices=("basic", "strict"),
                                default=None, help="implies --check")
+    search_parser.add_argument("--workload", metavar="PLAN_JSON",
+                               help="offer load from a JSON workload spec "
+                                    "during every probe")
     search_parser.add_argument("--output", metavar="PATH",
                                help="write the capacity report as JSON to PATH")
     search_parser.add_argument("--trace", metavar="PATH",

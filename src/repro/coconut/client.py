@@ -22,6 +22,8 @@ from repro.net import Endpoint, Message
 from repro.sim.events import Event
 from repro.sim.kernel import Simulator
 from repro.storage import Payload
+from repro.storage.receipts import TxStatus
+from repro.workloads.arrivals import build_schedule
 
 
 @dataclasses.dataclass
@@ -33,6 +35,9 @@ class PayloadRecord:
     start_time: float
     end_time: typing.Optional[float] = None
     status: str = "pending"
+    #: Confirmed but flagged invalid on-chain (Fabric MVCC conflicts);
+    #: still counts as received per Section 5.4.
+    invalid: bool = False
 
     @property
     def received(self) -> bool:
@@ -67,7 +72,12 @@ class CoconutClient(Endpoint):
             ops_per_transaction=config.ops_per_transaction,
             txs_per_batch=config.txs_per_batch,
         )
-        self.plan = WorkloadPlan(client_id, config.workload_threads)
+        self.plan = WorkloadPlan(
+            client_id,
+            config.workload_threads,
+            spec=config.workload,
+            rng_streams=sim.rng.stream,
+        )
         #: phase -> payload_id -> record.
         self.records: typing.Dict[str, typing.Dict[str, PayloadRecord]] = {}
         self._payload_phase: typing.Dict[str, str] = {}
@@ -106,18 +116,33 @@ class CoconutClient(Endpoint):
         # submission carries `group` payloads, so submissions are spaced
         # by group * threads / rate.
         interval = group * config.workload_threads / config.rate_limit
+        arrival = self.plan.spec.for_phase(phase).arrival
+        schedule = build_schedule(
+            arrival,
+            interval,
+            config.scaled_send,
+            thread,
+            config.workload_threads,
+            lambda: self.sim.rng.stream(
+                f"workloads/{self.endpoint_id}/t{thread}/arrival"
+            ),
+        )
         if self.sim.now < start_at:
             yield self.sim.timeout(start_at - self.sim.now)
+        initial = schedule.initial_delay()
+        if initial is None:
+            return
+        if initial > 0:
+            # Only replay defers the first send; every other kind fires
+            # at phase start exactly like the pre-workloads loop.
+            yield self.sim.timeout(initial)
         while self.sim.now < send_deadline:
-            payloads = [
-                Payload.create(
-                    self.endpoint_id,
-                    config.iel,
-                    phase,
-                    self.plan.args_for(config.iel, phase, thread),
+            payloads = []
+            for __ in range(group):
+                function, args = self.plan.payload_for(config.iel, phase, thread)
+                payloads.append(
+                    Payload.create(self.endpoint_id, config.iel, function, args)
                 )
-                for __ in range(group)
-            ]
             now = self.sim.now
             phase_records = self.records[phase]
             tracer = self.sim.tracer
@@ -145,7 +170,10 @@ class CoconutClient(Endpoint):
                 bundle,
                 size_bytes=getattr(bundle, "size_bytes", 256),
             )
-            yield self.sim.timeout(interval)
+            delay = schedule.next_delay(self.sim.now - start_at)
+            if delay is None:
+                return
+            yield self.sim.timeout(delay)
 
     # ------------------------------------------------------------------
     # Event collection
@@ -153,13 +181,17 @@ class CoconutClient(Endpoint):
     def on_message(self, message: Message) -> None:
         if message.kind == "client/receipt":
             for receipt in message.payload:
-                self._record_end(receipt.payload_id, "received" if receipt.is_success else "failed")
+                self._record_end(
+                    receipt.payload_id,
+                    "received" if receipt.is_success else "failed",
+                    invalid=receipt.status is TxStatus.INVALIDATED,
+                )
         elif message.kind == "client/reject":
             reject = message.payload
             for payload_id in reject.payload_ids:
                 self._record_end(payload_id, "failed")
 
-    def _record_end(self, payload_id: str, status: str) -> None:
+    def _record_end(self, payload_id: str, status: str, invalid: bool = False) -> None:
         phase = self._payload_phase.get(payload_id)
         if phase is None:
             return
@@ -174,6 +206,7 @@ class CoconutClient(Endpoint):
             return
         record.end_time = self.sim.now
         record.status = status
+        record.invalid = invalid
         if tracer.enabled:
             tracer.end(("tx", payload_id), status=status)
             if tracer.wants("client"):

@@ -15,6 +15,7 @@ import typing
 
 from repro.faults.plan import FaultPlan
 from repro.net.latency import LatencyModel
+from repro.workloads.spec import WorkloadSpec
 
 #: Phase sequences of the benchmark units (Section 4.1): a KeyValue-Set
 #: benchmark is always followed by KeyValue-Get; BankingApp runs
@@ -59,6 +60,10 @@ class BenchmarkConfig:
     #: are offsets from that instant). None/empty = a healthy run, which
     #: is byte-identical to one without the faults subsystem.
     fault_plan: typing.Optional[FaultPlan] = None
+    #: How load is offered (arrival process, access distribution,
+    #: operation mix, scenario script). None or the default spec keep
+    #: the paper's generator, byte-identical to pre-workloads runs.
+    workload: typing.Optional[WorkloadSpec] = None
     seed: int = 0
     #: Scales the three timing windows below (0.1 = a 30 s send window).
     scale: float = 1.0
@@ -70,8 +75,20 @@ class BenchmarkConfig:
     total_duration: float = 420.0
 
     def __post_init__(self) -> None:
+        if self.iel not in UNIT_PHASES:
+            raise ValueError(f"unknown IEL {self.iel!r}; known: {sorted(UNIT_PHASES)}")
         if self.rate_limit < 1:
             raise ValueError(f"rate_limit must be >= 1, got {self.rate_limit}")
+        if self.workload_threads < 1:
+            raise ValueError(
+                f"workload_threads must be >= 1, got {self.workload_threads}"
+            )
+        if self.client_count < 1:
+            raise ValueError(f"client_count must be >= 1, got {self.client_count}")
+        if self.node_count < 1:
+            raise ValueError(f"node_count must be >= 1, got {self.node_count}")
+        if self.repetitions < 1:
+            raise ValueError(f"repetitions must be >= 1, got {self.repetitions}")
         if not 0 < self.scale <= 1.0:
             raise ValueError(f"scale must be in (0, 1], got {self.scale}")
         if self.ops_per_transaction < 1 or self.txs_per_batch < 1:
@@ -80,8 +97,19 @@ class BenchmarkConfig:
             raise ValueError("ops_per_transaction > 1 is a BitShares setting")
         if self.txs_per_batch > 1 and self.system != "sawtooth":
             raise ValueError("txs_per_batch > 1 is a Sawtooth setting")
+        if self.send_duration <= 0:
+            raise ValueError(
+                f"send_duration must be > 0, got {self.send_duration}"
+            )
         if not (self.send_duration <= self.listen_duration <= self.total_duration):
-            raise ValueError("timing windows must be ordered send <= listen <= total")
+            raise ValueError(
+                "timing windows must be ordered send <= listen <= total, got "
+                f"{self.send_duration}/{self.listen_duration}/{self.total_duration}"
+            )
+        if self.workload is not None:
+            # Fail at construction, naming the offending phase/operation,
+            # instead of a KeyError minutes into a run.
+            self.workload.validate_for(self.iel, UNIT_PHASES[self.iel])
 
     @property
     def phase_sequence(self) -> typing.Tuple[str, ...]:
@@ -134,6 +162,8 @@ class BenchmarkConfig:
             parts.append("netem")
         if self.fault_plan:
             parts.append(f"faults{len(self.fault_plan)}")
+        if self.workload is not None and not self.workload.is_default:
+            parts.append(f"wl-{self.workload.short_label()}")
         if self.node_count != 4:
             parts.append(f"n{self.node_count}")
         return "-".join(parts)

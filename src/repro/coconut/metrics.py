@@ -91,6 +91,21 @@ def confidence_interval(values: typing.Sequence[float]) -> typing.Tuple[float, f
     return summary.mean - summary.ci95, summary.mean + summary.ci95
 
 
+def percentile(sorted_values: typing.Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending-sorted sample.
+
+    Nearest-rank (not interpolated) so the value is always one actually
+    observed latency; 0.0 for an empty sample, mirroring the total-
+    failure convention of the other metrics.
+    """
+    if not sorted_values:
+        return 0.0
+    if not 0.0 < q <= 100.0:
+        raise ValueError(f"percentile must be in (0, 100], got {q}")
+    rank = math.ceil(q / 100.0 * len(sorted_values))
+    return sorted_values[max(0, rank - 1)]
+
+
 @dataclasses.dataclass
 class PhaseMetrics:
     """One repetition's end-to-end numbers for one phase."""
@@ -105,6 +120,15 @@ class PhaseMetrics:
     duration: float
     tps: float
     mean_fls: float
+    #: Finalization-latency percentiles (nearest rank) of the
+    #: repetition's received transactions — the tail the mean hides.
+    p50_fls: float = 0.0
+    p95_fls: float = 0.0
+    p99_fls: float = 0.0
+    #: Received transactions that were appended but marked invalid
+    #: (Fabric's MVCC conflicts). The paper counts them as received
+    #: (Section 5.4); this keeps the conflict rate visible anyway.
+    invalidated: int = 0
     #: :meth:`repro.faults.metrics.ResilienceReport.to_dict` output when
     #: the repetition ran under a fault plan whose window touched this
     #: phase; None for healthy runs.
@@ -158,7 +182,8 @@ class PhaseMetrics:
         t_lrtx = max(last_receives)
         duration = t_lrtx - t_fstx
         tps = len(received_records) / duration if duration > 0 else 0.0
-        mean_fls = sum(record.latency for record in received_records) / len(received_records)
+        latencies = sorted(record.latency for record in received_records)
+        mean_fls = sum(latencies) / len(latencies)
         return cls(
             phase=phase,
             repetition=repetition,
@@ -170,6 +195,10 @@ class PhaseMetrics:
             duration=duration,
             tps=tps,
             mean_fls=mean_fls,
+            p50_fls=percentile(latencies, 50),
+            p95_fls=percentile(latencies, 95),
+            p99_fls=percentile(latencies, 99),
+            invalidated=sum(1 for record in received_records if record.invalid),
         )
 
     def to_dict(self) -> dict:

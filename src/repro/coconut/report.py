@@ -89,13 +89,37 @@ def heatmap(
     return format_table(headers, rows)
 
 
+def latency_table(results: typing.Sequence[typing.Tuple[str, PhaseResult]]) -> str:
+    """Finalization-latency profile: mean plus nearest-rank tail."""
+    headers = ["Config", "MFLS", "p50", "p95", "p99", "p99/p50"]
+    rows = []
+    for label, phase in results:
+        p50, p99 = phase.p50.mean, phase.p99.mean
+        amplification = p99 / p50 if p50 > 0 else 0.0
+        rows.append(
+            [
+                label,
+                f"{phase.mfls.mean:.2f}",
+                f"{p50:.2f}",
+                f"{phase.p95.mean:.2f}",
+                f"{p99:.2f}",
+                f"{amplification:.2f}",
+            ]
+        )
+    return format_table(headers, rows)
+
+
 def unit_summary(result: UnitResult) -> str:
     """A readable multi-phase summary of one unit."""
     lines = [f"Unit {result.label} (RL={result.aggregate_rate}, scale={result.scale})"]
     for phase_name, phase in result.phases.items():
-        lines.append(
+        line = (
             f"  {phase_name:>14}: MTPS={phase.mtps.format()}  MFLS={phase.mfls.format()}s  "
+            f"p99={phase.p99.mean:.2f}s  "
             f"D={phase.duration.mean:.2f}s  "
             f"NoT={phase.received.mean:.0f}/{phase.expected.mean:.0f}"
         )
+        if phase.invalidated.mean > 0:
+            line += f"  invalid={phase.invalidated.mean:.0f}"
+        lines.append(line)
     return "\n".join(lines)

@@ -34,6 +34,26 @@ class PhaseResult:
         return aggregate([rep.duration for rep in self.repetitions])
 
     @property
+    def p50(self) -> MetricSummary:
+        """Median finalization latency across repetitions."""
+        return aggregate([rep.p50_fls for rep in self.repetitions])
+
+    @property
+    def p95(self) -> MetricSummary:
+        """95th-percentile finalization latency across repetitions."""
+        return aggregate([rep.p95_fls for rep in self.repetitions])
+
+    @property
+    def p99(self) -> MetricSummary:
+        """99th-percentile finalization latency across repetitions."""
+        return aggregate([rep.p99_fls for rep in self.repetitions])
+
+    @property
+    def invalidated(self) -> MetricSummary:
+        """Appended-but-invalid transactions across repetitions."""
+        return aggregate([float(rep.invalidated) for rep in self.repetitions])
+
+    @property
     def received(self) -> MetricSummary:
         """Received NoT across repetitions."""
         return aggregate([float(rep.received) for rep in self.repetitions])

@@ -16,6 +16,11 @@ from repro.experiments.figures import (
     fig4_latency_heatmap,
 )
 from repro.experiments.resilience import resilience_leader_crash, resilience_partition
+from repro.experiments.workloads import (
+    burst_capacity,
+    mix_readwrite_keyvalue,
+    skew_sweep_keyvalue,
+)
 
 _BUILDERS: typing.Dict[str, typing.Callable[[], object]] = {
     "fig3": fig3_heatmap,
@@ -27,6 +32,9 @@ _BUILDERS: typing.Dict[str, typing.Callable[[], object]] = {
     "capacity_donothing": capacity_donothing,
     "capacity_keyvalue": capacity_keyvalue,
     "capacity_bankingapp": capacity_bankingapp,
+    "skew_sweep_keyvalue": skew_sweep_keyvalue,
+    "burst_capacity": burst_capacity,
+    "mix_readwrite_keyvalue": mix_readwrite_keyvalue,
 }
 
 #: Every reproducible artifact, in paper order.

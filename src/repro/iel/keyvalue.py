@@ -2,7 +2,11 @@
 
 Targets the storage component. The Set benchmark never writes duplicate
 keys (Section 4.1); the Get benchmark reads back the keys the preceding
-Set unit wrote.
+Set unit wrote. ``Rmw`` (read-modify-write) extends the table for
+skewed workload specs: it reads the key before upserting it, so its
+read set is recorded — on execute-order-validate systems (Fabric)
+concurrent Rmws of one hot key genuinely invalidate each other, which
+a blind Set never does.
 """
 
 from __future__ import annotations
@@ -19,7 +23,7 @@ class KeyValueIEL(InterfaceExecutionLayer):
     name = "KeyValue"
 
     def functions(self) -> typing.Tuple[str, ...]:
-        return ("Set", "Get")
+        return ("Set", "Get", "Rmw")
 
     def _fn_set(self, payload: Payload, state: StateInterface) -> None:
         key = payload.arg("key")
@@ -33,3 +37,14 @@ class KeyValueIEL(InterfaceExecutionLayer):
         if key is None:
             raise IELError("Get requires a 'key' argument")
         return state.require(str(key))
+
+    def _fn_rmw(self, payload: Payload, state: StateInterface) -> None:
+        key = payload.arg("key")
+        if key is None:
+            raise IELError("Rmw requires a 'key' argument")
+        # The read is the point: it lands in the transaction's read set,
+        # making concurrent writers of the same key conflict. A missing
+        # key is fine — the first Rmw of a key is a plain insert.
+        state.get(str(key))
+        state.put(str(key), payload.arg("value"))
+        return None

@@ -420,7 +420,7 @@ class LwwOracle:
             if status is not TxStatus.COMMITTED:
                 continue
             payload = ch.payloads.get(payload_id)
-            if payload is None or payload.function != "Set":
+            if payload is None or payload.function not in ("Set", "Rmw"):
                 continue
             ch.observed(self.name)
             last[str(payload.arg("key"))] = payload.arg("value")

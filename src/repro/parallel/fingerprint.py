@@ -27,7 +27,8 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 #: Bumped whenever the payload layout below changes shape, so caches
 #: written by an older fingerprint scheme never collide with new ones.
-FINGERPRINT_SCHEMA = 1
+#: 2: BenchmarkConfig grew the ``workload`` field.
+FINGERPRINT_SCHEMA = 2
 
 
 def _default_code_version() -> str:
@@ -52,6 +53,10 @@ def config_payload(config: "BenchmarkConfig") -> typing.Dict[str, object]:
             value = None if value is None else value.describe()
         elif field.name == "fault_plan":
             value = None if not value else json.loads(value.to_json())
+        elif field.name == "workload":
+            # The default spec fingerprints like None: it *is* the
+            # legacy workload, and produces byte-identical results.
+            value = None if value is None or value.is_default else value.to_dict()
         elif field.name == "params":
             value = {str(key): value[key] for key in sorted(value)}
         elif field.name == "phases":

@@ -1,0 +1,69 @@
+"""repro.workloads — declarative workload modeling for COCONUT runs.
+
+A :class:`WorkloadSpec` describes *how* load is offered, orthogonally to
+*how much* (``BenchmarkConfig.rate_limit``): the arrival process per
+workload thread, the key/account access distribution, the per-phase
+operation mix, and optional multi-phase scenario overrides. Specs are
+plain JSON documents (``coconut run --workload plan.json``) mirroring
+the fault-plan design, and all randomness draws from dedicated
+``workloads/...`` RNG streams so adding a spec never perturbs the
+simulation, fault, or any other stream. The default spec reproduces the
+pre-subsystem generator byte for byte.
+"""
+
+from repro.workloads.access import (
+    HotspotSampler,
+    Sampler,
+    UniformSampler,
+    ZipfianSampler,
+    build_sampler,
+)
+from repro.workloads.arrivals import (
+    BurstSchedule,
+    ConstantSchedule,
+    PoissonSchedule,
+    RampSchedule,
+    ReplaySchedule,
+    Schedule,
+    build_schedule,
+)
+from repro.workloads.mixes import READ_FALLBACK, MixSampler, allowed_operations
+from repro.workloads.replay import replay_spec_from_jsonl, replay_times
+from repro.workloads.spec import (
+    DEFAULT_WORKLOAD,
+    AccessSpec,
+    ArrivalSpec,
+    Mix,
+    PhaseOverride,
+    ResolvedPhase,
+    WorkloadSpec,
+    normalize_mix,
+)
+
+__all__ = [
+    "AccessSpec",
+    "ArrivalSpec",
+    "BurstSchedule",
+    "ConstantSchedule",
+    "DEFAULT_WORKLOAD",
+    "HotspotSampler",
+    "Mix",
+    "MixSampler",
+    "PhaseOverride",
+    "PoissonSchedule",
+    "RampSchedule",
+    "READ_FALLBACK",
+    "ReplaySchedule",
+    "ResolvedPhase",
+    "Sampler",
+    "Schedule",
+    "UniformSampler",
+    "WorkloadSpec",
+    "ZipfianSampler",
+    "allowed_operations",
+    "build_sampler",
+    "build_schedule",
+    "normalize_mix",
+    "replay_spec_from_jsonl",
+    "replay_times",
+]

@@ -1,0 +1,102 @@
+"""Key/account index samplers for the access distributions.
+
+A sampler maps ``(rng, n)`` to an index in ``[0, n)``. The zipfian
+sampler is YCSB's constant-time approximation (Gray et al.'s
+quasi-inverse-CDF) with an incrementally extended zeta sum, so draw
+cost does not grow with the universe; rank 0 is the hottest item.
+``disjoint`` never reaches a sampler — the legacy per-thread counter
+path handles it without touching any RNG stream.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import typing
+
+from repro.workloads.spec import AccessSpec
+
+
+class UniformSampler:
+    """Every index equally likely."""
+
+    def sample(self, rng: random.Random, n: int) -> int:
+        if n <= 1:
+            return 0
+        return rng.randrange(n)
+
+
+class ZipfianSampler:
+    """YCSB-style zipfian over ``n`` items, rank 0 hottest.
+
+    ``P(i) ~ 1 / (i + 1) ** theta``. The zeta normaliser is cached and
+    extended term by term as ``n`` grows (reads sample over a growing
+    written-key history), keeping every draw O(1).
+    """
+
+    def __init__(self, theta: float) -> None:
+        if not 0.0 < theta < 1.0:
+            raise ValueError(f"zipfian theta must be in (0, 1), got {theta}")
+        self.theta = theta
+        self.alpha = 1.0 / (1.0 - theta)
+        self._zeta_n = 0
+        self._zeta = 0.0
+        self._zeta2 = sum(1.0 / (i + 1) ** theta for i in range(2))
+
+    def _zeta_for(self, n: int) -> float:
+        while self._zeta_n < n:
+            self._zeta += 1.0 / (self._zeta_n + 1) ** self.theta
+            self._zeta_n += 1
+        return self._zeta
+
+    def sample(self, rng: random.Random, n: int) -> int:
+        if n <= 1:
+            return 0
+        zetan = self._zeta_for(n)
+        u = rng.random()
+        uz = u * zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5 ** self.theta:
+            return 1
+        eta = (1.0 - (2.0 / n) ** (1.0 - self.theta)) / (1.0 - self._zeta2 / zetan)
+        return min(n - 1, int(n * (eta * u - eta + 1.0) ** self.alpha))
+
+
+class HotspotSampler:
+    """With ``hot_prob`` draw uniformly from the hottest ``hot_fraction``
+    of indexes (the front of the universe), else from the remainder."""
+
+    def __init__(self, hot_fraction: float, hot_prob: float) -> None:
+        if not 0.0 < hot_fraction < 1.0:
+            raise ValueError(f"hot_fraction must be in (0, 1), got {hot_fraction}")
+        if not 0.0 <= hot_prob <= 1.0:
+            raise ValueError(f"hot_prob must be in [0, 1], got {hot_prob}")
+        self.hot_fraction = hot_fraction
+        self.hot_prob = hot_prob
+
+    def sample(self, rng: random.Random, n: int) -> int:
+        if n <= 1:
+            return 0
+        hot = max(1, int(math.ceil(n * self.hot_fraction)))
+        if hot >= n or rng.random() < self.hot_prob:
+            return rng.randrange(hot)
+        return hot + rng.randrange(n - hot)
+
+
+Sampler = typing.Union[UniformSampler, ZipfianSampler, HotspotSampler]
+
+
+def build_sampler(spec: AccessSpec) -> Sampler:
+    """The index sampler one access spec describes.
+
+    ``disjoint`` has no sampler — callers must keep the legacy counter
+    path for it; asking for one is a programming error surfaced early.
+    """
+    if spec.kind == "uniform":
+        return UniformSampler()
+    if spec.kind == "zipfian":
+        return ZipfianSampler(spec.theta)
+    if spec.kind == "hotspot":
+        return HotspotSampler(spec.hot_fraction, spec.hot_prob)
+    raise ValueError(f"access kind {spec.kind!r} has no sampler")

@@ -1,0 +1,171 @@
+"""Arrival schedules: when one workload thread sends its next bundle.
+
+A schedule answers two questions for the client's send loop:
+``initial_delay()`` — how long to wait after the phase starts before
+the first send (0 for every kind except ``replay``) — and
+``next_delay(elapsed)`` — the gap to the next send given seconds
+elapsed since the phase start, or ``None`` when the schedule is
+exhausted (``replay`` past its trace).
+
+``constant`` returns the legacy fixed interval unchanged — same float,
+same event sequence — which is what keeps default-spec runs
+byte-identical to the pre-workloads generator. Only ``poisson`` draws
+randomness; it is handed a dedicated ``workloads/...`` RNG stream so
+the fault and simulation streams never shift.
+"""
+
+from __future__ import annotations
+
+import random
+import typing
+
+from repro.workloads.spec import ArrivalSpec
+
+
+class ConstantSchedule:
+    """The paper's pacing: one bundle every ``interval`` seconds."""
+
+    def __init__(self, interval: float) -> None:
+        self.interval = interval
+
+    def initial_delay(self) -> typing.Optional[float]:
+        return 0.0
+
+    def next_delay(self, elapsed: float) -> typing.Optional[float]:
+        return self.interval
+
+
+class PoissonSchedule:
+    """Open-loop Poisson arrivals with the configured mean rate."""
+
+    def __init__(self, interval: float, rng: random.Random) -> None:
+        if interval <= 0:
+            raise ValueError(f"mean interval must be > 0, got {interval}")
+        self.rate = 1.0 / interval
+        self.rng = rng
+
+    def initial_delay(self) -> typing.Optional[float]:
+        return 0.0
+
+    def next_delay(self, elapsed: float) -> typing.Optional[float]:
+        return self.rng.expovariate(self.rate)
+
+
+class BurstSchedule:
+    """MMPP-style on/off pacing.
+
+    Cycles start with the on-period, so the first send fires at phase
+    start like every other kind. During on-periods sends are spaced by
+    ``interval / factor``; a send that would land inside the off-period
+    is deferred to the next cycle's start.
+    """
+
+    def __init__(self, interval: float, on_s: float, off_s: float, factor: float) -> None:
+        if on_s <= 0 or off_s < 0:
+            raise ValueError(f"burst needs on_s > 0, off_s >= 0, got {on_s}/{off_s}")
+        if factor <= 0:
+            raise ValueError(f"burst factor must be > 0, got {factor}")
+        self.on_s = on_s
+        self.off_s = off_s
+        self.on_interval = interval / factor
+
+    def initial_delay(self) -> typing.Optional[float]:
+        return 0.0
+
+    def next_delay(self, elapsed: float) -> typing.Optional[float]:
+        cycle = self.on_s + self.off_s
+        position = elapsed % cycle
+        cycle_start = elapsed - position
+        # Strict: a send landing exactly on the off-window start belongs
+        # to the silence, keeping each full cycle's send count at
+        # on_s/on_interval — the rate-preserving average.
+        if position < self.on_s and position + self.on_interval < self.on_s:
+            return self.on_interval
+        # The next send would land in (or we already are in) the silent
+        # window: resume at the next cycle's start.
+        return cycle_start + cycle - elapsed
+
+
+class RampSchedule:
+    """Linear rate ramp across the send window.
+
+    The instantaneous rate at ``t`` is the base rate scaled by
+    ``start + (end - start) * min(1, t / send_duration)``; the gap to
+    the next send is the base interval divided by that factor.
+    """
+
+    def __init__(
+        self, interval: float, start_factor: float, end_factor: float, send_duration: float
+    ) -> None:
+        if start_factor <= 0 or end_factor <= 0:
+            raise ValueError(
+                f"ramp factors must be > 0, got {start_factor}..{end_factor}"
+            )
+        if send_duration <= 0:
+            raise ValueError(f"send_duration must be > 0, got {send_duration}")
+        self.interval = interval
+        self.start_factor = start_factor
+        self.end_factor = end_factor
+        self.send_duration = send_duration
+
+    def next_delay(self, elapsed: float) -> typing.Optional[float]:
+        progress = min(1.0, max(0.0, elapsed / self.send_duration))
+        factor = self.start_factor + (self.end_factor - self.start_factor) * progress
+        return self.interval / factor
+
+    def initial_delay(self) -> typing.Optional[float]:
+        return 0.0
+
+
+class ReplaySchedule:
+    """Replays recorded send offsets (seconds from phase start)."""
+
+    def __init__(self, times: typing.Sequence[float]) -> None:
+        self.times = list(times)
+        self._cursor = 0
+
+    def initial_delay(self) -> typing.Optional[float]:
+        if not self.times:
+            return None
+        self._cursor = 1
+        return self.times[0]
+
+    def next_delay(self, elapsed: float) -> typing.Optional[float]:
+        if self._cursor >= len(self.times):
+            return None
+        target = self.times[self._cursor]
+        self._cursor += 1
+        return max(0.0, target - elapsed)
+
+
+Schedule = typing.Union[
+    ConstantSchedule, PoissonSchedule, BurstSchedule, RampSchedule, ReplaySchedule
+]
+
+
+def build_schedule(
+    spec: ArrivalSpec,
+    interval: float,
+    send_duration: float,
+    thread: int,
+    threads: int,
+    rng_factory: typing.Callable[[], random.Random],
+) -> Schedule:
+    """The schedule one thread runs for one phase.
+
+    ``interval`` is the legacy per-thread bundle spacing
+    (``group * threads / rate``). ``rng_factory`` is called only for
+    kinds that need randomness, so deterministic kinds never create an
+    RNG stream. Replay traces are split round-robin across threads.
+    """
+    if spec.kind == "constant":
+        return ConstantSchedule(interval)
+    if spec.kind == "poisson":
+        return PoissonSchedule(interval, rng_factory())
+    if spec.kind == "burst":
+        return BurstSchedule(interval, spec.on_s, spec.off_s, spec.burst_factor)
+    if spec.kind == "ramp":
+        return RampSchedule(interval, spec.start_factor, spec.end_factor, send_duration)
+    if spec.kind == "replay":
+        return ReplaySchedule(spec.times[thread::threads])
+    raise ValueError(f"unknown arrival kind {spec.kind!r}")

@@ -1,0 +1,59 @@
+"""Operation mixes: per-payload function choice inside one phase.
+
+A mix replaces a phase's single repeated function with a weighted draw
+over the IEL's functions (e.g. 90/10 Get/Set, or a read-modify-write
+share via KeyValue's ``Rmw``). Read-type operations need identifiers
+that already exist; when a draw lands on one before the client has
+written anything, the sampler falls back to the phase's write
+operation so the unit never issues a guaranteed-failing payload.
+"""
+
+from __future__ import annotations
+
+import bisect
+import itertools
+import random
+import typing
+
+from repro.workloads.spec import Mix
+
+#: The functions a mix may reference, per IEL.
+_ALLOWED: typing.Dict[str, typing.Tuple[str, ...]] = {
+    "DoNothing": ("DoNothing",),
+    "KeyValue": ("Set", "Get", "Rmw"),
+    "BankingApp": ("CreateAccount", "SendPayment", "Balance"),
+}
+
+#: Operations that only make sense once identifiers exist, and the
+#: write operation each falls back to on an empty history.
+READ_FALLBACK: typing.Dict[str, str] = {
+    "Get": "Set",
+    "Rmw": "Rmw",  # Rmw upserts: it needs no history.
+    "Balance": "CreateAccount",
+    "SendPayment": "CreateAccount",
+}
+
+
+def allowed_operations(iel: str) -> typing.Tuple[str, ...]:
+    """The operation names a mix may use for one IEL."""
+    if iel not in _ALLOWED:
+        raise ValueError(f"unknown IEL {iel!r}; known: {sorted(_ALLOWED)}")
+    return _ALLOWED[iel]
+
+
+class MixSampler:
+    """Weighted draw over a mix's operations via one RNG stream."""
+
+    def __init__(self, mix: Mix) -> None:
+        if not mix:
+            raise ValueError("a mix needs at least one operation")
+        self.operations = [function for function, __ in mix]
+        weights = [weight for __, weight in mix]
+        self._cumulative = list(itertools.accumulate(weights))
+        self._total = self._cumulative[-1]
+
+    def sample(self, rng: random.Random) -> str:
+        point = rng.random() * self._total
+        return self.operations[
+            min(len(self.operations) - 1, bisect.bisect_left(self._cumulative, point))
+        ]

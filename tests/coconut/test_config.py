@@ -70,6 +70,35 @@ class TestBenchmarkConfig:
         with pytest.raises(ValueError):
             self.base(send_duration=400, listen_duration=330)
 
+    def test_eager_validation_names_the_field(self):
+        # Bad values must fail at construction with the offending value
+        # in the message, not deep inside a run.
+        with pytest.raises(ValueError, match="IEL 'Oracle'"):
+            self.base(iel="Oracle")
+        with pytest.raises(ValueError, match="workload_threads"):
+            self.base(workload_threads=0)
+        with pytest.raises(ValueError, match="client_count"):
+            self.base(client_count=0)
+        with pytest.raises(ValueError, match="repetitions"):
+            self.base(repetitions=0)
+        with pytest.raises(ValueError, match="node_count"):
+            self.base(node_count=0)
+        with pytest.raises(ValueError, match="330"):
+            self.base(send_duration=400, listen_duration=330)
+
+    def test_workload_spec_checked_at_construction(self):
+        from repro.workloads import WorkloadSpec
+
+        with pytest.raises(ValueError, match="Transfer"):
+            self.base(workload=WorkloadSpec(mix=(("Transfer", 1.0),)))
+
+    def test_workload_spec_changes_label(self):
+        from repro.workloads import AccessSpec, WorkloadSpec
+
+        spec = WorkloadSpec(access=AccessSpec(kind="uniform"))
+        assert self.base().label() == self.base(workload=WorkloadSpec()).label()
+        assert "wl-" in self.base(workload=spec).label()
+
     def test_label_is_filename_friendly_and_distinct(self):
         a = self.base(params={"MaxMessageCount": 100})
         b = self.base(params={"MaxMessageCount": 500})

@@ -143,3 +143,40 @@ class TestPhaseMetrics:
         client = FakeClient([record(0.0, 2.0, "received")])
         metrics = PhaseMetrics.from_clients([client], "Set", repetition=1)
         assert PhaseMetrics.from_dict(metrics.to_dict()) == metrics
+
+    def test_latency_percentiles(self):
+        # 100 confirmations with latencies 1..100 s: nearest-rank
+        # percentiles land exactly on the 50th/95th/99th values.
+        client = FakeClient(
+            [record(float(i), float(i) + i + 1, "received") for i in range(100)]
+        )
+        metrics = PhaseMetrics.from_clients([client], "Set", repetition=0)
+        assert metrics.p50_fls == 50.0
+        assert metrics.p95_fls == 95.0
+        assert metrics.p99_fls == 99.0
+
+    def test_invalidated_count(self):
+        records = [record(0.0, 2.0, "received"), record(1.0, 3.0, "received")]
+        records[1].invalid = True
+        metrics = PhaseMetrics.from_clients([FakeClient(records)], "Set", repetition=0)
+        assert metrics.invalidated == 1
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        from repro.coconut.metrics import percentile
+
+        values = [1.0, 2.0, 3.0, 4.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 75) == 3.0
+        assert percentile(values, 100) == 4.0
+        assert percentile([7.0], 99) == 7.0
+
+    def test_empty_and_bounds(self):
+        from repro.coconut.metrics import percentile
+
+        assert percentile([], 50) == 0.0
+        with pytest.raises(ValueError, match="percentile"):
+            percentile([1.0], 0)
+        with pytest.raises(ValueError, match="percentile"):
+            percentile([1.0], 101)

@@ -57,3 +57,28 @@ class TestMetricTables:
         )
         assert "MTPS=11.00" in grid
         assert grid.count("FAIL") == 2  # the dead cell and the absent one
+
+    def test_latency_table_tail_columns(self):
+        from repro.coconut.report import latency_table
+
+        result = phase_result()
+        for rep in result.repetitions:
+            rep.p50_fls, rep.p95_fls, rep.p99_fls = 1.0, 3.0, 5.0
+        table = latency_table([("RL=20", result)])
+        assert "p99/p50" in table
+        assert "5.00" in table  # p99 and the 5x amplification
+
+    def test_unit_summary_shows_invalidations_only_when_present(self):
+        from repro.coconut.report import unit_summary
+        from repro.coconut.results import UnitResult
+
+        clean = phase_result()
+        dirty = phase_result()
+        for rep in dirty.repetitions:
+            rep.invalidated = 7
+        unit = UnitResult(label="u", system="fabric", iel="KeyValue",
+                          aggregate_rate=80, params={}, scale=0.05,
+                          phases={"Set": dirty, "Get": clean})
+        text = unit_summary(unit)
+        assert "invalid=7" in text
+        assert text.count("invalid=") == 1

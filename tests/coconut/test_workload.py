@@ -81,7 +81,7 @@ class TestValidation:
     def test_unknown_phase(self):
         plan = WorkloadPlan("client-0", threads=1)
         import pytest
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="Scan"):
             plan.args_for("KeyValue", "Scan", 0)
 
     def test_generated_count(self):

@@ -21,6 +21,7 @@ class TestRegistry:
             "table15_16", "table17_18", "table19_20",
             "resilience_leader_crash", "resilience_partition",
             "capacity_donothing", "capacity_keyvalue", "capacity_bankingapp",
+            "skew_sweep_keyvalue", "burst_capacity", "mix_readwrite_keyvalue",
         }
 
     def test_unknown_experiment(self):
@@ -107,6 +108,33 @@ class TestFigureDefinitions:
     def test_other_cells_have_one_variant(self):
         assert len(best_config_variants("fabric", "BankingApp")) == 1
         assert len(best_config_variants("bitshares", "KeyValue")) == 1
+
+
+class TestWorkloadExperiments:
+    @pytest.mark.parametrize(
+        "experiment_id",
+        ["skew_sweep_keyvalue", "burst_capacity", "mix_readwrite_keyvalue"],
+    )
+    def test_cases_build_valid_configs(self, experiment_id):
+        experiment = build_experiment(experiment_id)
+        ids = [case.case_id for case in experiment.cases]
+        assert len(ids) == len(set(ids))
+        for case in experiment.cases:
+            config = case.build_config()
+            assert isinstance(config, BenchmarkConfig)
+            assert case.phase in config.phase_sequence
+            assert config.workload is not None
+
+    def test_skew_sweep_covers_all_access_kinds(self):
+        experiment = build_experiment("skew_sweep_keyvalue")
+        kinds = {c.build_config().workload.access.kind for c in experiment.cases}
+        assert kinds == {"disjoint", "uniform", "zipfian", "hotspot"}
+
+    def test_burst_covers_all_systems_both_shapes(self):
+        from repro.chains.registry import SYSTEM_NAMES
+
+        experiment = build_experiment("burst_capacity")
+        assert len(experiment.cases) == 2 * len(SYSTEM_NAMES)
 
 
 class TestExperimentMachinery:

@@ -1,0 +1,75 @@
+"""Access distribution sampler statistics."""
+
+import collections
+import random
+
+import pytest
+
+from repro.workloads import AccessSpec, ZipfianSampler, build_sampler
+
+
+def _histogram(sampler, n, draws, seed=11):
+    rng = random.Random(seed)
+    counts = collections.Counter(sampler.sample(rng, n) for __ in range(draws))
+    return counts
+
+
+class TestUniform:
+    def test_covers_universe_evenly(self):
+        sampler = build_sampler(AccessSpec(kind="uniform", key_space=10))
+        counts = _histogram(sampler, 10, 20_000)
+        assert set(counts) == set(range(10))
+        assert max(counts.values()) < 1.2 * min(counts.values())
+
+    def test_single_item_universe(self):
+        sampler = build_sampler(AccessSpec(kind="uniform"))
+        assert sampler.sample(random.Random(0), 1) == 0
+
+
+class TestZipfian:
+    def test_rank_zero_hottest_and_monotone(self):
+        sampler = ZipfianSampler(0.99)
+        counts = _histogram(sampler, 100, 50_000)
+        assert counts[0] > counts[1] > counts[5]
+        assert counts[0] > 0.1 * 50_000  # the classic YCSB head weight
+
+    def test_bounds_respected(self):
+        sampler = ZipfianSampler(0.5)
+        rng = random.Random(5)
+        assert all(0 <= sampler.sample(rng, 7) < 7 for __ in range(5000))
+
+    def test_growing_universe_keeps_head(self):
+        # Reads sample over a growing history; the cached zeta must
+        # extend, not reset, and the head must stay the head.
+        sampler = ZipfianSampler(0.99)
+        small = _histogram(sampler, 10, 10_000, seed=1)
+        large = _histogram(sampler, 1000, 10_000, seed=2)
+        assert small[0] > small[1]
+        assert large[0] > large[1]
+        assert max(large) < 1000
+
+    def test_theta_bounds(self):
+        with pytest.raises(ValueError, match="theta"):
+            ZipfianSampler(1.0)
+
+
+class TestHotspot:
+    def test_hot_set_gets_hot_probability(self):
+        sampler = build_sampler(
+            AccessSpec(kind="hotspot", hot_fraction=0.1, hot_prob=0.9, key_space=100)
+        )
+        counts = _histogram(sampler, 100, 20_000)
+        hot = sum(count for index, count in counts.items() if index < 10)
+        assert hot == pytest.approx(18_000, rel=0.05)
+
+    def test_degenerate_small_universe(self):
+        sampler = build_sampler(
+            AccessSpec(kind="hotspot", hot_fraction=0.5, hot_prob=0.9, key_space=1)
+        )
+        assert sampler.sample(random.Random(0), 1) == 0
+
+
+class TestBuildSampler:
+    def test_disjoint_has_no_sampler(self):
+        with pytest.raises(ValueError, match="disjoint"):
+            build_sampler(AccessSpec(kind="disjoint"))

@@ -1,0 +1,131 @@
+"""Arrival schedule pacing semantics."""
+
+import random
+
+import pytest
+
+from repro.workloads import ArrivalSpec, build_schedule
+
+
+def _send_times(schedule, horizon):
+    """Simulated send instants under an ideal (no-latency) loop."""
+    t = schedule.initial_delay()
+    if t is None:
+        return []
+    times = [t]
+    while True:
+        delay = schedule.next_delay(times[-1])
+        if delay is None or times[-1] + delay >= horizon:
+            return times
+        times.append(times[-1] + delay)
+
+
+class TestConstant:
+    def test_matches_legacy_interval_exactly(self):
+        schedule = build_schedule(
+            ArrivalSpec(), 0.25, 30.0, 0, 4, lambda: random.Random(0)
+        )
+        assert schedule.initial_delay() == 0.0
+        # The same float, not merely a close one: default-spec runs must
+        # replay the legacy event sequence bit for bit.
+        assert schedule.next_delay(0.0) == 0.25
+        assert schedule.next_delay(17.3) == 0.25
+
+
+class TestPoisson:
+    def test_mean_interval_close_to_configured(self):
+        schedule = build_schedule(
+            ArrivalSpec(kind="poisson"), 0.5, 30.0, 0, 1, lambda: random.Random(7)
+        )
+        gaps = [schedule.next_delay(0.0) for __ in range(4000)]
+        assert sum(gaps) / len(gaps) == pytest.approx(0.5, rel=0.05)
+
+    def test_deterministic_for_one_seed(self):
+        gaps = []
+        for __ in range(2):
+            schedule = build_schedule(
+                ArrivalSpec(kind="poisson"), 0.5, 30.0, 0, 1, lambda: random.Random(3)
+            )
+            gaps.append([schedule.next_delay(0.0) for __ in range(50)])
+        assert gaps[0] == gaps[1]
+
+
+class TestBurst:
+    def test_cycle_preserves_average_rate(self):
+        # interval 1s, on 5 / off 5 -> default factor 2: each 10 s cycle
+        # carries exactly the 10 sends a constant schedule would.
+        schedule = build_schedule(
+            ArrivalSpec(kind="burst", on_s=5.0, off_s=5.0),
+            1.0, 30.0, 0, 1, lambda: random.Random(0),
+        )
+        times = _send_times(schedule, 30.0)
+        assert len(times) == 30
+        assert all(t % 10.0 < 5.0 for t in times)
+
+    def test_silence_in_off_window(self):
+        schedule = build_schedule(
+            ArrivalSpec(kind="burst", on_s=2.0, off_s=8.0),
+            1.0, 30.0, 0, 1, lambda: random.Random(0),
+        )
+        times = _send_times(schedule, 20.0)
+        assert all(t % 10.0 < 2.0 for t in times)
+
+
+class TestRamp:
+    def test_gaps_shrink_toward_end_factor(self):
+        schedule = build_schedule(
+            ArrivalSpec(kind="ramp", start_factor=0.5, end_factor=2.0),
+            1.0, 10.0, 0, 1, lambda: random.Random(0),
+        )
+        assert schedule.next_delay(0.0) == pytest.approx(2.0)
+        assert schedule.next_delay(10.0) == pytest.approx(0.5)
+        assert schedule.next_delay(25.0) == pytest.approx(0.5)  # clamped
+
+
+class TestReplay:
+    def test_replays_recorded_offsets(self):
+        schedule = build_schedule(
+            ArrivalSpec(kind="replay", times=(0.5, 1.0, 4.0)),
+            1.0, 30.0, 0, 1, lambda: random.Random(0),
+        )
+        times = _send_times(schedule, 30.0)
+        assert times == [0.5, 1.0, 4.0]
+
+    def test_trace_splits_round_robin_across_threads(self):
+        spec = ArrivalSpec(kind="replay", times=(0.0, 1.0, 2.0, 3.0))
+        a = build_schedule(spec, 1.0, 30.0, 0, 2, lambda: random.Random(0))
+        b = build_schedule(spec, 1.0, 30.0, 1, 2, lambda: random.Random(0))
+        assert _send_times(a, 30.0) == [0.0, 2.0]
+        assert _send_times(b, 30.0) == [1.0, 3.0]
+
+    def test_exhausted_schedule_stops(self):
+        schedule = build_schedule(
+            ArrivalSpec(kind="replay", times=(0.0,)),
+            1.0, 30.0, 0, 1, lambda: random.Random(0),
+        )
+        assert schedule.initial_delay() == 0.0
+        assert schedule.next_delay(0.0) is None
+
+    def test_late_schedule_never_goes_negative(self):
+        schedule = build_schedule(
+            ArrivalSpec(kind="replay", times=(0.0, 1.0)),
+            1.0, 30.0, 0, 1, lambda: random.Random(0),
+        )
+        schedule.initial_delay()
+        assert schedule.next_delay(5.0) == 0.0
+
+
+class TestRngIsolation:
+    def test_only_poisson_draws_randomness(self):
+        calls = []
+
+        def factory():
+            calls.append(1)
+            return random.Random(0)
+
+        for kind in ("constant", "burst", "ramp"):
+            spec = ArrivalSpec(kind=kind)
+            build_schedule(spec, 1.0, 30.0, 0, 1, factory)
+        assert calls == []
+        build_schedule(ArrivalSpec(kind="poisson"), 1.0, 30.0, 0, 1, factory)
+        assert calls == [1]

@@ -1,0 +1,68 @@
+"""End-to-end contention effects: skew must move real metrics.
+
+These are the subsystem's acceptance checks. Fabric's
+execute-order-validate pipeline turns key collisions into MVCC
+invalidations (append-then-invalid, so NoT is untouched — Section 5.4
+counts those as received); Corda's vault scan and notary make skew
+show up in MFLS/MTPS directly.
+"""
+
+import pytest
+
+from repro.coconut.config import BenchmarkConfig
+from repro.coconut.runner import BenchmarkRunner
+from repro.workloads import AccessSpec, PhaseOverride, WorkloadSpec
+
+
+def _rmw_spec(access: AccessSpec) -> WorkloadSpec:
+    return WorkloadSpec(
+        name="contention",
+        access=access,
+        phases=(("Set", PhaseOverride(mix=(("Rmw", 1.0),))),),
+    )
+
+
+def _run(system: str, workload, scale: float = 0.05):
+    config = BenchmarkConfig(
+        system=system,
+        iel="KeyValue",
+        rate_limit=100 if system == "fabric" else 4,
+        phases=("Set",),
+        scale=scale,
+        workload=workload,
+        seed=2330,
+    )
+    result = BenchmarkRunner(keep_last_rig=False).run(config)
+    return result.phases["Set"]
+
+
+class TestFabricMvcc:
+    @pytest.fixture(scope="class")
+    def phases(self):
+        zipf = AccessSpec(kind="zipfian", theta=0.99, key_space=200, shared=True)
+        return {
+            "disjoint": _run("fabric", _rmw_spec(AccessSpec(kind="disjoint"))),
+            "zipfian": _run("fabric", _rmw_spec(zipf)),
+        }
+
+    def test_disjoint_rmw_never_invalidates(self, phases):
+        assert phases["disjoint"].invalidated.mean == 0
+
+    def test_zipfian_rmw_invalidates(self, phases):
+        assert phases["zipfian"].invalidated.mean > 0
+
+    def test_invalidated_txs_still_count_as_received(self, phases):
+        # Paper Section 5.4: appended-but-invalid transactions are
+        # received, so NoT must not collapse under contention.
+        assert phases["zipfian"].received.mean > 0
+
+
+class TestCordaSkewSensitivity:
+    def test_zipfian_shifts_corda_metrics(self):
+        zipf = AccessSpec(kind="zipfian", theta=0.99, key_space=200, shared=True)
+        disjoint = _run("corda_os", _rmw_spec(AccessSpec(kind="disjoint")))
+        skewed = _run("corda_os", _rmw_spec(zipf))
+        assert (
+            skewed.mfls.mean != disjoint.mfls.mean
+            or skewed.mtps.mean != disjoint.mtps.mean
+        )
