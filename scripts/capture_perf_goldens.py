@@ -1,0 +1,40 @@
+"""Capture the seed-equivalence golden files for the hot-path suite.
+
+Run from the repository root::
+
+    PYTHONPATH=src:. python scripts/capture_perf_goldens.py
+
+Writes one JSON file per scenario into ``tests/perf/goldens/``. The
+committed goldens were captured from the pre-optimization code; rerun
+this script only when a PR *intentionally* changes observable behaviour
+(a new metric, a semantic fix) — never to paper over an optimization
+that drifted.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import sys
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent.parent))
+
+from tests.perf.equivalence import CASES, run_case
+
+
+def main() -> None:
+    golden_dir = pathlib.Path(__file__).resolve().parent.parent / "tests" / "perf" / "goldens"
+    golden_dir.mkdir(parents=True, exist_ok=True)
+    for case in CASES:
+        observed = run_case(case)
+        path = golden_dir / f"{case['name']}.json"
+        path.write_text(json.dumps(observed, sort_keys=True, indent=1) + "\n")
+        trace = observed["instrumented"]["trace"]
+        print(
+            f"{case['name']}: {trace['span_count']} spans, "
+            f"{trace['event_count']} events -> {path}"
+        )
+
+
+if __name__ == "__main__":
+    main()

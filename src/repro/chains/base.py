@@ -33,6 +33,12 @@ from repro.storage import Block, Chain, Payload, Receipt, Transaction, TxStatus,
 
 _proposal_counter = itertools.count(1)
 
+
+def reset_proposal_counter() -> None:
+    """Restart the proposal-id sequence (deterministic ids for tests)."""
+    global _proposal_counter
+    _proposal_counter = itertools.count(1)
+
 #: The paper's testbed packs at most four blockchain nodes per server
 #: (Section 5.8.2).
 MAX_NODES_PER_SERVER = 4

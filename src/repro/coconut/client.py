@@ -127,53 +127,61 @@ class CoconutClient(Endpoint):
                 f"workloads/{self.endpoint_id}/t{thread}/arrival"
             ),
         )
-        if self.sim.now < start_at:
-            yield self.sim.timeout(start_at - self.sim.now)
+        sim = self.sim
+        if sim.now < start_at:
+            yield sim.timeout(start_at - sim.now)
         initial = schedule.initial_delay()
         if initial is None:
             return
         if initial > 0:
             # Only replay defers the first send; every other kind fires
             # at phase start exactly like the pre-workloads loop.
-            yield self.sim.timeout(initial)
-        while self.sim.now < send_deadline:
+            yield sim.timeout(initial)
+        # Send-loop invariants hoisted out of the loop: the tracer and
+        # its category filter are fixed for the run, the phase's record
+        # dict and the plan/RNG-stream lookups never change identity.
+        endpoint_id = self.endpoint_id
+        iel = config.iel
+        payload_for = self.plan.payload_for
+        phase_records = self.records[phase]
+        payload_phase = self._payload_phase
+        wrap = self.driver.wrap
+        tracer = sim.tracer
+        trace_txs = tracer.enabled and tracer.wants("client")
+        while sim.now < send_deadline:
             payloads = []
             for __ in range(group):
-                function, args = self.plan.payload_for(config.iel, phase, thread)
-                payloads.append(
-                    Payload.create(self.endpoint_id, config.iel, function, args)
-                )
-            now = self.sim.now
-            phase_records = self.records[phase]
-            tracer = self.sim.tracer
-            trace_txs = tracer.enabled and tracer.wants("client")
+                function, args = payload_for(iel, phase, thread)
+                payloads.append(Payload.create(endpoint_id, iel, function, args))
+            now = sim.now
             for payload in payloads:
-                phase_records[payload.payload_id] = PayloadRecord(
-                    payload_id=payload.payload_id,
+                payload_id = payload.payload_id
+                phase_records[payload_id] = PayloadRecord(
+                    payload_id=payload_id,
                     phase=phase,
                     start_time=now,
                 )
-                self._payload_phase[payload.payload_id] = phase
-                if trace_txs and tracer.sampled(payload.payload_id):
+                payload_phase[payload_id] = phase
+                if trace_txs and tracer.sampled(payload_id):
                     # Submit -> confirm, closed in _record_end; payloads
                     # that never confirm stay open (drained at export).
                     tracer.begin(
-                        ("tx", payload.payload_id), "tx", category="client",
-                        node=self.endpoint_id, phase=phase,
+                        ("tx", payload_id), "tx", category="client",
+                        node=endpoint_id, phase=phase,
                     )
             if trace_txs:
-                tracer.metrics.counter("client.sent", node=self.endpoint_id).inc(len(payloads))
-            bundle = self.driver.wrap(payloads)
+                tracer.metrics.counter("client.sent", node=endpoint_id).inc(len(payloads))
+            bundle = wrap(payloads)
             self.send(
                 self.gateway_id,
                 "client/submit",
                 bundle,
                 size_bytes=getattr(bundle, "size_bytes", 256),
             )
-            delay = schedule.next_delay(self.sim.now - start_at)
+            delay = schedule.next_delay(sim.now - start_at)
             if delay is None:
                 return
-            yield self.sim.timeout(delay)
+            yield sim.timeout(delay)
 
     # ------------------------------------------------------------------
     # Event collection

@@ -58,6 +58,10 @@ class WorkloadPlan:
         self._mix_samplers: typing.Dict[str, MixSampler] = {}
         self._access_samplers: typing.Dict[str, Sampler] = {}
         self._gen_rngs: typing.Dict[int, random.Random] = {}
+        #: phase -> resolved arrival/access/mix. ``for_phase`` is pure
+        #: over a frozen spec, but it allocates per call and sits on the
+        #: per-payload path; one resolution per phase is enough.
+        self._resolved: typing.Dict[str, ResolvedPhase] = {}
 
     # ------------------------------------------------------------------
     # Legacy disjoint streams
@@ -210,7 +214,9 @@ class WorkloadPlan:
         the phase name is the function and ``args_for`` builds the
         arguments, with no RNG stream ever created.
         """
-        resolved = self.spec.for_phase(phase)
+        resolved = self._resolved.get(phase)
+        if resolved is None:
+            resolved = self._resolved[phase] = self.spec.for_phase(phase)
         if resolved.mix is None and resolved.access.kind == "disjoint":
             return phase, self.args_for(iel, phase, thread)
         if not 0 <= thread < self.threads:

@@ -9,14 +9,16 @@ from __future__ import annotations
 
 import typing
 
-from repro.crypto.hashing import hash_bytes, hash_object
+from repro.crypto.hashing import hash_bytes, leaf_hash
 
 
 class MerkleTree:
     """A static Merkle tree built from a list of hashable leaves."""
 
     def __init__(self, leaves: typing.Sequence[object]) -> None:
-        self.leaf_hashes = [hash_object(leaf) for leaf in leaves]
+        # leaf_hash serves domain objects' memoized digests, so the
+        # trees built per replica/validation share each leaf's encoding.
+        self.leaf_hashes = [leaf_hash(leaf) for leaf in leaves]
         self._levels = self._build(self.leaf_hashes)
 
     @staticmethod
@@ -73,7 +75,7 @@ class MerkleTree:
         root: str,
     ) -> bool:
         """Check an inclusion proof against a known root."""
-        current = hash_object(leaf)
+        current = leaf_hash(leaf)
         for sibling, side in proof:
             if side == "left":
                 current = cls._pair_hash(sibling, current)

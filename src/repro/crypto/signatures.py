@@ -18,6 +18,12 @@ from repro.crypto.hashing import hash_object
 _key_counter = itertools.count(1)
 
 
+def reset_key_counter() -> None:
+    """Restart the key-serial sequence (deterministic ids for tests)."""
+    global _key_counter
+    _key_counter = itertools.count(1)
+
+
 class SignatureError(Exception):
     """A signature failed verification."""
 

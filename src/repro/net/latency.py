@@ -11,6 +11,7 @@ from __future__ import annotations
 
 import abc
 import random
+import typing
 
 
 class LatencyModel(abc.ABC):
@@ -19,6 +20,16 @@ class LatencyModel(abc.ABC):
     @abc.abstractmethod
     def sample(self, rng: random.Random) -> float:
         """Return a non-negative delay in seconds."""
+
+    def fixed_delay(self) -> typing.Optional[float]:
+        """The constant delay of a jitter-free model, else ``None``.
+
+        The network precomputes per-route delays for jitter-free models
+        so the per-message hot path skips the ``sample()`` call (which
+        never consults the RNG for such models anyway — skipping it
+        cannot shift any random stream).
+        """
+        return None
 
     def describe(self) -> str:
         """Human-readable summary used in reports."""
@@ -34,6 +45,9 @@ class ConstantLatency(LatencyModel):
         self.delay = delay
 
     def sample(self, rng: random.Random) -> float:
+        return self.delay
+
+    def fixed_delay(self) -> typing.Optional[float]:
         return self.delay
 
     def describe(self) -> str:

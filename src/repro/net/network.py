@@ -55,6 +55,26 @@ class Endpoint:
         self.network.send(Message(self.endpoint_id, dst, kind, payload, size_bytes))
 
 
+class _Route:
+    """Per-directed-pair routing state, built lazily on first send.
+
+    One dict lookup recovers everything ``send`` needs — destination
+    endpoint, link, both hosts, the FIFO clock (an attribute here, not
+    a per-message dict get/set with a fresh tuple key) and the
+    precomputed delay of jitter-free latency models.
+    """
+
+    __slots__ = ("endpoint", "link", "src_host", "dst_host", "fifo_clock", "const_delay")
+
+    def __init__(self, endpoint: Endpoint, link: Link) -> None:
+        self.endpoint = endpoint
+        self.link = link
+        self.src_host = link.src
+        self.dst_host = link.dst
+        self.fifo_clock = 0.0
+        self.const_delay = link.latency_model.fixed_delay()
+
+
 class Network:
     """The routing fabric connecting all endpoints of one deployment."""
 
@@ -70,7 +90,10 @@ class Network:
         self.partitions = PartitionController()
         self._endpoints: typing.Dict[str, Endpoint] = {}
         self._links: typing.Dict[typing.Tuple[str, str], Link] = {}
-        self._fifo_clock: typing.Dict[typing.Tuple[str, str], float] = {}
+        self._routes: typing.Dict[typing.Tuple[str, str], _Route] = {}
+        #: Bound once so the per-message schedule() call does not
+        #: allocate a fresh bound method (let alone a closure).
+        self._deliver_cb = self._deliver
         self._rng = sim.rng.stream(f"network:{name}")
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -137,55 +160,79 @@ class Network:
             )
             tracer.metrics.counter("net.dropped", system=self.name).inc()
 
+    def _route_for(self, src: str, dst: str) -> _Route:
+        """Build (and cache) the routing record for one directed pair."""
+        if dst not in self._endpoints:
+            raise KeyError(f"unknown destination {dst!r}")
+        route = _Route(self._endpoints[dst], self.link_between(src, dst))
+        self._routes[(src, dst)] = route
+        return route
+
     def send(self, message: Message) -> None:
         """Route ``message``, scheduling delivery after the link delay."""
-        if message.dst not in self._endpoints:
-            raise KeyError(f"unknown destination {message.dst!r}")
+        src = message.src
+        dst = message.dst
+        route = self._routes.get((src, dst))
+        if route is None:
+            route = self._route_for(src, dst)
         self.messages_sent += 1
-        tracer = self.sim.tracer
-        if not (self.endpoint_is_up(message.src) and self.endpoint_is_up(message.dst)):
+        down = self._down_endpoints
+        if (not route.src_host.is_up or not route.dst_host.is_up
+                or (down and (src in down or dst in down))):
             self._drop(message)
             return
-        if not self.partitions.allows(message.src, message.dst, self._rng):
+        if not self.partitions.allows(src, dst, self._rng):
             self._drop(message)
             return
-        link = self.link_between(message.src, message.dst)
-        delay = link.delay(message.size_bytes, self._rng)
+        if route.const_delay is not None:
+            # Jitter-free link: the model's sample() never consults the
+            # RNG, so inlining propagation + serialisation draws nothing
+            # and produces the exact floats link.delay would.
+            delay = route.const_delay + message.size_bytes / route.src_host.bandwidth_bps
+        else:
+            delay = route.link.delay(message.size_bytes, self._rng)
         if self.extra_latency:
             delay += self.extra_latency
         # FIFO per directed pair: clamp the arrival to be no earlier than
         # the previous message on the same pair.
-        pair = (message.src, message.dst)
-        arrival = self.sim.now + delay
-        arrival = max(arrival, self._fifo_clock.get(pair, 0.0))
-        self._fifo_clock[pair] = arrival
+        sim = self.sim
+        now = sim.now
+        arrival = now + delay
+        if arrival < route.fifo_clock:
+            arrival = route.fifo_clock
+        else:
+            route.fifo_clock = arrival
+        latency = arrival - now
+        tracer = sim.tracer
         if tracer.enabled and tracer.wants("net"):
-            latency = arrival - self.sim.now
             tracer.event(
-                "net.send", category="net", node=message.src,
-                dst=message.dst, kind=message.kind, size=message.size_bytes,
-            )
-            # The delivery instant is already decided, so the matching
-            # deliver event can be recorded now with its future timestamp.
-            tracer.event(
-                "net.deliver", category="net", node=message.dst, at=arrival,
-                src=message.src, kind=message.kind, latency=round(latency, 9),
+                "net.send", category="net", node=src,
+                dst=dst, kind=message.kind, size=message.size_bytes,
             )
             tracer.metrics.counter("net.sent", system=self.name).inc()
             tracer.metrics.counter("net.bytes", system=self.name).inc(message.size_bytes)
-            tracer.metrics.histogram("net.latency", system=self.name).record(latency)
-        endpoint = self._endpoints[message.dst]
-        self.sim.schedule(arrival - self.sim.now, lambda: self._deliver(endpoint, message))
+        sim.schedule(latency, self._deliver_cb, route.endpoint, message, latency)
 
-    def _deliver(self, endpoint: Endpoint, message: Message) -> None:
+    def _deliver(self, endpoint: Endpoint, message: Message, latency: float = 0.0) -> None:
         """Hand a message to its destination — unless it crashed meanwhile.
 
         The up-check re-runs at delivery time so that a crash drops
-        messages already in flight toward the endpoint.
+        messages already in flight toward the endpoint. Delivery-side
+        trace records — the ``net.deliver`` event and the ``net.latency``
+        histogram — are emitted here rather than at send time, so a
+        message dropped in flight never shows up as delivered and the
+        trace agrees with ``messages_dropped``.
         """
         if not self.endpoint_is_up(message.dst):
             self._drop(message)
             return
+        tracer = self.sim.tracer
+        if tracer.enabled and tracer.wants("net"):
+            tracer.event(
+                "net.deliver", category="net", node=message.dst,
+                src=message.src, kind=message.kind, latency=round(latency, 9),
+            )
+            tracer.metrics.histogram("net.latency", system=self.name).record(latency)
         endpoint.on_message(message)
 
     def broadcast(
@@ -198,12 +245,17 @@ class Network:
     ) -> int:
         """Send the same message to every destination except ``src``.
 
-        Returns the number of messages sent.
+        All destinations are validated before the first send, so a
+        typo'd peer list fails atomically (KeyError, nothing sent)
+        instead of after a partial fan-out. Returns the number of
+        messages sent.
         """
-        count = 0
-        for dst in dsts:
-            if dst == src:
-                continue
+        targets = [dst for dst in dsts if dst != src]
+        unknown = [dst for dst in targets if dst not in self._endpoints]
+        if unknown:
+            raise KeyError(
+                f"unknown destination(s) {unknown!r} in broadcast from {src!r}"
+            )
+        for dst in targets:
             self.send(Message(src, dst, kind, payload, size_bytes))
-            count += 1
-        return count
+        return len(targets)

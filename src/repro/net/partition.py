@@ -84,6 +84,12 @@ class PartitionController:
 
     def allows(self, src: str, dst: str, rng: random.Random) -> bool:
         """Whether a message from ``src`` to ``dst`` may be delivered now."""
+        # Fast path for the overwhelmingly common unimpaired network: no
+        # RNG is consulted (matching the per-check guards below), so the
+        # early return cannot shift any random stream.
+        if not (self._isolated or self._blocked_pairs or self._pair_loss
+                or self.drop_probability):
+            return True
         if src in self._isolated or dst in self._isolated:
             return False
         if (src, dst) in self._blocked_pairs:

@@ -1,0 +1,17 @@
+"""Hot-path performance harness: timing, baselines, regression checks."""
+
+from repro.perf.harness import (
+    TimingResult,
+    check_baseline,
+    load_baseline,
+    time_callable,
+    write_baseline,
+)
+
+__all__ = [
+    "TimingResult",
+    "check_baseline",
+    "load_baseline",
+    "time_callable",
+    "write_baseline",
+]

@@ -9,6 +9,7 @@ one Simulator instance.
 from __future__ import annotations
 
 import heapq
+import math
 import typing
 
 from repro.invariants.checker import NOOP_CHECKER
@@ -58,12 +59,18 @@ class Simulator:
         """Install an invariant checker observing this simulator's run."""
         self.checker = checker
 
-    def schedule(self, delay: float, callback: typing.Callable[[], None]) -> None:
-        """Run ``callback()`` after ``delay`` simulated seconds."""
+    def schedule(self, delay: float, callback: typing.Callable[..., None], *args: object) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds.
+
+        Extra positional arguments ride on the queue entry, so hot-path
+        callers (the network's per-message delivery) can schedule a
+        bound method plus its operands instead of allocating a closure
+        per event.
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback))
+        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback, args))
 
     def event(self, name: str = "") -> Event:
         """Create a fresh untriggered :class:`Event`."""
@@ -87,24 +94,42 @@ class Simulator:
         if self._running:
             raise SimulationError("run() is not reentrant")
         self._running = True
+        # Hot loop. The queue and heappop live in locals, the time bound
+        # folds the None check into one float compare, and the tracer
+        # branch is hoisted out of the loop entirely (a tracer installed
+        # mid-run takes effect on the next run() call, which is the only
+        # way tracers are ever installed).
+        bound = math.inf if until is None else until
+        queue = self._queue
+        pop = heapq.heappop
         try:
-            while self._queue:
-                at, __, callback = self._queue[0]
-                if until is not None and at > until:
-                    break
-                heapq.heappop(self._queue)
-                self._now = at
-                if self.tracer.enabled:
-                    self._traced_dispatch(callback)
-                else:
-                    callback()
+            if self.tracer.enabled:
+                while queue:
+                    entry = queue[0]
+                    if entry[0] > bound:
+                        break
+                    pop(queue)
+                    self._now = entry[0]
+                    self._traced_dispatch(entry[2], entry[3])
+            else:
+                while queue:
+                    entry = queue[0]
+                    if entry[0] > bound:
+                        break
+                    pop(queue)
+                    self._now = entry[0]
+                    if entry[3]:
+                        entry[2](*entry[3])
+                    else:
+                        entry[2]()
             if until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
         return self._now
 
-    def _traced_dispatch(self, callback: typing.Callable[[], None]) -> None:
+    def _traced_dispatch(self, callback: typing.Callable[..., None],
+                         args: tuple = ()) -> None:
         """One dispatch with instrumentation: queue-depth gauge, dispatch
         counter and (when configured) a per-callback span whose ``wall_us``
         attribute carries the host-clock cost of the callback."""
@@ -114,7 +139,9 @@ class Simulator:
         if tracer.config.dispatch_spans and tracer.wants("sim"):
             name = getattr(callback, "__qualname__", None) or type(callback).__name__
             with tracer.span("dispatch", category="sim", fn=name):
-                callback()
+                callback(*args)
+        elif args:
+            callback(*args)
         else:
             callback()
 
@@ -122,15 +149,36 @@ class Simulator:
         """Run until ``process`` finishes and return its value.
 
         ``limit`` bounds the run to guard against livelock in tests.
+        Dispatch goes through the same instrumented path as :meth:`run`
+        (dispatch counters and spans stay accurate) under the same
+        re-entrancy guard, and an over-limit event is peeked before it
+        is popped, so it stays queued for a later :meth:`run`.
         """
-        while not process.triggered:
-            if not self._queue:
-                raise SimulationError(f"deadlock: {process!r} never completed")
-            at, __, callback = heapq.heappop(self._queue)
-            if at > limit:
-                raise SimulationError(f"exceeded time limit {limit} waiting for {process!r}")
-            self._now = at
-            callback()
+        if self._running:
+            raise SimulationError("run() is not reentrant")
+        self._running = True
+        queue = self._queue
+        pop = heapq.heappop
+        traced = self.tracer.enabled
+        try:
+            while not process.triggered:
+                if not queue:
+                    raise SimulationError(f"deadlock: {process!r} never completed")
+                entry = queue[0]
+                if entry[0] > limit:
+                    raise SimulationError(
+                        f"exceeded time limit {limit} waiting for {process!r}"
+                    )
+                pop(queue)
+                self._now = entry[0]
+                if traced:
+                    self._traced_dispatch(entry[2], entry[3])
+                elif entry[3]:
+                    entry[2](*entry[3])
+                else:
+                    entry[2]()
+        finally:
+            self._running = False
         return process.value
 
     def pending_events(self) -> int:

@@ -42,7 +42,7 @@ class BlockHeader:
 class Block:
     """A sealed block: header plus transaction list."""
 
-    __slots__ = ("header", "transactions", "block_hash")
+    __slots__ = ("header", "transactions", "block_hash", "_merkle_ok")
 
     def __init__(self, header: BlockHeader, transactions: typing.Sequence[Transaction]) -> None:
         if header.tx_count != len(transactions):
@@ -52,6 +52,7 @@ class Block:
         self.header = header
         self.transactions = tuple(transactions)
         self.block_hash = hash_object(header)
+        self._merkle_ok: typing.Optional[bool] = None
 
     @classmethod
     def seal(
@@ -63,7 +64,7 @@ class Block:
         timestamp: float,
     ) -> "Block":
         """Build a block, computing the Merkle root over ``transactions``."""
-        merkle_root = MerkleTree(list(transactions)).root
+        merkle_root = MerkleTree(transactions).root
         header = BlockHeader(
             height=height,
             parent_hash=parent_hash,
@@ -95,8 +96,19 @@ class Block:
         return 512 + sum(tx.size_bytes for tx in self.transactions)
 
     def verify_merkle_root(self) -> bool:
-        """Recompute the Merkle root and compare with the header."""
-        return MerkleTree(list(self.transactions)).root == self.header.merkle_root
+        """Recompute the Merkle root and compare with the header.
+
+        The verdict is memoized: header and transaction tuple are fixed
+        at construction, so the re-verification every replica's append
+        and every strict ``--check`` chain pass performs collapses to
+        one tree build per block object.
+        """
+        verdict = self._merkle_ok
+        if verdict is None:
+            verdict = self._merkle_ok = (
+                MerkleTree(self.transactions).root == self.header.merkle_root
+            )
+        return verdict
 
     def __repr__(self) -> str:
         return (

@@ -17,8 +17,11 @@ BitShares' MTPS calculation counts each operation as a transaction
 from __future__ import annotations
 
 import dataclasses
+import functools
 import itertools
 import typing
+
+from repro.crypto.hashing import hash_object
 
 _payload_counter = itertools.count(1)
 _tx_counter = itertools.count(1)
@@ -26,11 +29,27 @@ _batch_counter = itertools.count(1)
 
 
 def reset_id_counters() -> None:
-    """Restart id sequences (used by tests for deterministic ids)."""
+    """Restart every global id sequence (deterministic ids for tests).
+
+    Covers payload/transaction/batch ids here plus the signature key
+    serials, UTXO state ids and consensus proposal ids — any globally
+    counted identifier that can surface in results or traces, so a
+    fixed-seed run reproduces byte-identically regardless of what ran
+    earlier in the process.
+    """
     global _payload_counter, _tx_counter, _batch_counter
     _payload_counter = itertools.count(1)
     _tx_counter = itertools.count(1)
     _batch_counter = itertools.count(1)
+    # Late imports: these modules must not become import-time
+    # dependencies of the transaction module (chains imports storage).
+    from repro.chains.base import reset_proposal_counter
+    from repro.crypto.signatures import reset_key_counter
+    from repro.storage.utxo import reset_state_counter
+
+    reset_key_counter()
+    reset_proposal_counter()
+    reset_state_counter()
 
 
 @dataclasses.dataclass(frozen=True)
@@ -74,6 +93,11 @@ class Payload:
         """Stable tuple for content hashing."""
         return (self.payload_id, self.client_id, self.iel, self.function, self.args)
 
+    @functools.cached_property
+    def content_hash(self) -> str:
+        """Canonical digest, computed once (the dataclass is frozen)."""
+        return hash_object(self)
+
 
 @dataclasses.dataclass(frozen=True)
 class Transaction:
@@ -109,6 +133,16 @@ class Transaction:
     def canonical_tuple(self) -> tuple:
         """Stable tuple for content hashing."""
         return (self.tx_id, self.submitter, self.kind, tuple(p.canonical_tuple() for p in self.payloads))
+
+    @functools.cached_property
+    def content_hash(self) -> str:
+        """Canonical digest, computed once per transaction.
+
+        Every replica's Merkle verification and the strict checker's
+        full-chain pass hash the same Transaction objects; memoizing the
+        digest collapses that to one encoding per transaction ever.
+        """
+        return hash_object(self)
 
 
 @dataclasses.dataclass(frozen=True)
@@ -147,3 +181,8 @@ class Batch:
     def canonical_tuple(self) -> tuple:
         """Stable tuple for content hashing."""
         return (self.batch_id, self.submitter, tuple(tx.canonical_tuple() for tx in self.transactions))
+
+    @functools.cached_property
+    def content_hash(self) -> str:
+        """Canonical digest, computed once (the dataclass is frozen)."""
+        return hash_object(self)

@@ -15,6 +15,12 @@ import typing
 _state_counter = itertools.count(1)
 
 
+def reset_state_counter() -> None:
+    """Restart the state-id sequence (deterministic ids for tests)."""
+    global _state_counter
+    _state_counter = itertools.count(1)
+
+
 class DoubleSpendError(Exception):
     """An input state was already consumed (notary rejection)."""
 

@@ -178,5 +178,28 @@ class TestPercentile:
         assert percentile([], 50) == 0.0
         with pytest.raises(ValueError, match="percentile"):
             percentile([1.0], 0)
+
+    def test_empty_sample_is_zero_for_every_quantile(self):
+        from repro.coconut.metrics import percentile
+
+        for q in (0.1, 1, 25, 50, 90, 99, 100):
+            assert percentile([], q) == 0.0
+
+    def test_single_element_dominates_every_quantile(self):
+        from repro.coconut.metrics import percentile
+
+        for q in (0.1, 1, 50, 99, 100):
+            assert percentile([3.5], q) == 3.5
+
+    def test_bounds_checked_even_for_empty_shortcut(self):
+        from repro.coconut.metrics import percentile
+
+        # The empty shortcut returns before validation; pinned so a
+        # refactor that reorders the guards keeps the documented shape.
+        assert percentile([], -1) == 0.0
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
         with pytest.raises(ValueError, match="percentile"):
             percentile([1.0], 101)

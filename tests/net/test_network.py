@@ -130,3 +130,70 @@ class TestRouting:
         sim.run()
         assert network.messages_sent == 2
         assert network.messages_dropped == 0
+
+
+class TestBroadcastAtomicity:
+    def test_unknown_destination_fails_before_any_send(self, rig):
+        sim, network, alice, bob = rig
+        with pytest.raises(KeyError, match="nobody"):
+            network.broadcast("alice", ["bob", "nobody", "alice"], "gossip")
+        # Atomic: the typo'd peer list sent nothing, not a partial fan-out.
+        assert network.messages_sent == 0
+        sim.run()
+        assert bob.received == []
+
+    def test_generator_destinations_are_validated(self, rig):
+        sim, network, alice, bob = rig
+        with pytest.raises(KeyError):
+            network.broadcast("alice", (d for d in ["bob", "ghost"]), "gossip")
+        assert network.messages_sent == 0
+
+
+class TestDeliverySideTrace:
+    def _traced_rig(self):
+        from repro.trace.config import TraceConfig
+        from repro.trace.tracer import Tracer
+
+        sim = Simulator(seed=1)
+        tracer = Tracer(TraceConfig())
+        sim.set_tracer(tracer)
+        network = Network(sim, default_latency=ConstantLatency(0.010))
+        alice, bob = Recorder("alice", sim), Recorder("bob", sim)
+        network.attach(alice, Host("server-1"))
+        network.attach(bob, Host("server-2"))
+        return sim, tracer, network, alice, bob
+
+    def test_delivered_message_emits_deliver_event(self):
+        sim, tracer, network, alice, bob = self._traced_rig()
+        alice.send("bob", "ping", size_bytes=0)
+        sim.run()
+        names = [event.name for event in tracer.events]
+        assert names.count("net.send") == 1
+        assert names.count("net.deliver") == 1
+        assert tracer.metrics.histogram("net.latency", system="net").count == 1
+
+    def test_in_flight_message_to_crashed_endpoint_never_appears_delivered(self):
+        sim, tracer, network, alice, bob = self._traced_rig()
+        alice.send("bob", "ping", size_bytes=0)
+        # Crash bob while the message is in flight: it was sent, but it
+        # must be dropped — and traced as dropped — at delivery time.
+        sim.schedule(0.005, lambda: network.set_endpoint_down("bob"))
+        sim.run()
+        assert bob.received == []
+        assert network.messages_dropped == 1
+        names = [event.name for event in tracer.events]
+        assert names.count("net.send") == 1
+        assert names.count("net.deliver") == 0
+        assert names.count("net.drop") == 1
+        # The latency histogram counts deliveries, so it agrees with the
+        # deliver events rather than the sends.
+        assert tracer.metrics.histogram("net.latency", system="net").count == 0
+
+    def test_undelivered_message_at_run_bound_not_recorded(self):
+        sim, tracer, network, alice, bob = self._traced_rig()
+        alice.send("bob", "ping", size_bytes=0)
+        sim.run(until=0.001)  # delivery is at 0.010, still in flight
+        names = [event.name for event in tracer.events]
+        assert names.count("net.send") == 1
+        assert names.count("net.deliver") == 0
+        assert tracer.metrics.histogram("net.latency", system="net").count == 0

@@ -65,6 +65,27 @@ class TestScheduling:
         assert times == [1.0, 3.0]
 
 
+class TestScheduleWithArgs:
+    def test_args_are_passed_positionally(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda a, b: seen.append((a, b)), "x", 2)
+        sim.schedule(2.0, seen.append, "bare")
+        sim.run()
+        assert seen == [("x", 2), "bare"]
+
+    def test_args_reach_traced_dispatch(self):
+        from repro.trace.config import TraceConfig
+        from repro.trace.tracer import Tracer
+
+        sim = Simulator()
+        sim.set_tracer(Tracer(TraceConfig()))
+        seen = []
+        sim.schedule(1.0, seen.append, 7)
+        sim.run()
+        assert seen == [7]
+
+
 class TestRunUntilComplete:
     def test_returns_process_value(self):
         sim = Simulator()
@@ -86,6 +107,59 @@ class TestRunUntilComplete:
         process = sim.spawn(proc())
         with pytest.raises(SimulationError, match="deadlock"):
             sim.run_until_complete(process)
+
+    def test_is_not_reentrant(self):
+        sim = Simulator()
+        errors = []
+
+        def proc():
+            inner = sim.spawn(inner_proc())
+            try:
+                sim.run_until_complete(inner)
+            except SimulationError as exc:
+                errors.append(str(exc))
+            yield sim.timeout(1.0)
+
+        def inner_proc():
+            yield sim.timeout(0.5)
+
+        process = sim.spawn(proc())
+        sim.run_until_complete(process)
+        assert errors and "not reentrant" in errors[0]
+
+    def test_over_limit_event_stays_queued(self):
+        sim = Simulator()
+        fired = []
+
+        def proc():
+            yield sim.timeout(100.0)
+            fired.append(sim.now)
+
+        process = sim.spawn(proc())
+        with pytest.raises(SimulationError, match="time limit"):
+            sim.run_until_complete(process, limit=10.0)
+        # The offending event was peeked, not popped: a later unbounded
+        # run still delivers it.
+        assert sim.pending_events() == 1
+        assert fired == []
+        sim.run()
+        assert fired == [100.0]
+
+    def test_dispatch_is_traced(self):
+        from repro.trace.config import TraceConfig
+        from repro.trace.tracer import Tracer
+
+        sim = Simulator()
+        tracer = Tracer(TraceConfig())
+        sim.set_tracer(tracer)
+
+        def proc():
+            yield sim.timeout(1.0)
+            yield sim.timeout(1.0)
+
+        sim.run_until_complete(sim.spawn(proc()))
+        dispatches = tracer.metrics.counter("sim.dispatches", system="sim").value
+        assert dispatches >= 2
 
     def test_determinism_across_runs(self):
         def build_trace(seed):

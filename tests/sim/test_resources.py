@@ -86,3 +86,41 @@ class TestResource:
         pool.acquire()
         pool.acquire()
         assert pool.queued == 2
+
+class TestReleaseSlotAccounting:
+    def test_handover_keeps_in_use_at_capacity(self, sim):
+        # Releasing with waiters hands the slot over rather than freeing
+        # it: in_use must stay pinned at capacity until the queue drains.
+        pool = Resource(sim, capacity=2)
+        pool.acquire()
+        pool.acquire()
+        pool.acquire()  # waiter 1
+        pool.acquire()  # waiter 2
+        assert (pool.in_use, pool.available, pool.queued) == (2, 0, 2)
+        pool.release()
+        assert (pool.in_use, pool.available, pool.queued) == (2, 0, 1)
+        pool.release()
+        assert (pool.in_use, pool.available, pool.queued) == (2, 0, 0)
+        pool.release()
+        assert (pool.in_use, pool.available, pool.queued) == (1, 1, 0)
+        pool.release()
+        assert (pool.in_use, pool.available, pool.queued) == (0, 2, 0)
+
+    def test_over_release_after_drain_raises(self, sim):
+        pool = Resource(sim, capacity=1)
+        pool.acquire()
+        pool.acquire()  # waiter
+        pool.release()  # handover
+        pool.release()  # frees the slot
+        with pytest.raises(SimulationError):
+            pool.release()
+
+    def test_waiter_admitted_by_release_holds_a_granted_event(self, sim):
+        pool = Resource(sim, capacity=1)
+        first = pool.acquire()
+        second = pool.acquire()
+        assert first.triggered
+        assert not second.triggered
+        pool.release()
+        assert second.triggered
+        assert pool.in_use == 1

@@ -133,3 +133,61 @@ class TestBoundedStore:
         sim.run()
         assert stored == [0, 1, 2, 3]
         assert store.peek_all() == [2, 3]
+
+class TestDrainWithWaitingPutters:
+    def test_drain_admits_only_what_capacity_allows(self, sim):
+        store = Store(sim, capacity=3)
+        for i in range(3):
+            assert store.try_put(i)
+        # Five independent putters park on the full store.
+        stored = []
+
+        def producer(i):
+            yield store.put(i)
+            stored.append(i)
+
+        for i in range(3, 8):
+            sim.spawn(producer(i))
+        sim.run()
+        assert stored == []
+        assert store.drain(limit=2) == [0, 1]
+        # Exactly two freed slots: the two oldest blocked putters were
+        # admitted, the rest stay parked.
+        assert store.peek_all() == [2, 3, 4]
+        assert store.is_full
+        sim.run()
+        assert stored == [3, 4]
+        assert store.drain() == [2, 3, 4]
+        sim.run()
+        assert stored == [3, 4, 5, 6, 7]
+        assert store.peek_all() == [5, 6, 7]
+
+    def test_full_drain_unblocks_all_putters_when_they_fit(self, sim):
+        store = Store(sim, capacity=4)
+        for i in range(4):
+            assert store.try_put(i)
+
+        def producer(i):
+            yield store.put(i)
+
+        for i in (4, 5):
+            sim.spawn(producer(i))
+        sim.run()
+        assert store.drain() == [0, 1, 2, 3]
+        assert store.peek_all() == [4, 5]
+        assert not store.is_full
+        assert store.drain() == [4, 5]
+
+    def test_admitted_putter_event_fires(self, sim):
+        store = Store(sim, capacity=1)
+        store.try_put("old")
+        put_event = store.put("new")
+        assert not put_event.triggered
+        assert store.drain() == ["old"]
+        assert put_event.triggered
+        assert store.peek_all() == ["new"]
+
+    def test_drain_on_empty_store_with_no_putters(self, sim):
+        store = Store(sim, capacity=2)
+        assert store.drain() == []
+        assert store.drain(limit=5) == []
