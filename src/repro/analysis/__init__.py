@@ -1,7 +1,13 @@
 """Analysis helpers: shape comparison against the paper, block
-statistics, time series."""
+statistics, time series, streamed latency histograms."""
 
 from repro.analysis.blockstats import BlockStats, collect_block_stats, production_pace_held
+from repro.analysis.histstats import (
+    merged_histogram,
+    percentile_profile,
+    render_histogram,
+    unit_latency_report,
+)
 from repro.analysis.compare import (
     LatencyProfile,
     ShapeCheck,
@@ -19,9 +25,13 @@ __all__ = [
     "collect_block_stats",
     "latency_percentiles",
     "latency_profile",
+    "merged_histogram",
     "ordering_preserved",
+    "percentile_profile",
     "production_pace_held",
+    "render_histogram",
     "tail_check",
     "throughput_over_time",
+    "unit_latency_report",
     "within_factor",
 ]

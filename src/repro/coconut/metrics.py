@@ -21,6 +21,9 @@ import typing
 
 from repro.coconut.client import CoconutClient
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.stream.accumulator import PhaseAccumulator
+
 
 #: Two-sided 95% Student-t critical values (t_{0.975, df}) for df 1-30.
 #: Built in because the project declares zero dependencies: pulling scipy
@@ -66,7 +69,7 @@ class MetricSummary:
     ci95: float
 
     def format(self, digits: int = 2) -> str:
-        """"12.84 +-0.38" style rendering."""
+        """``"12.84 ±0.38"`` style rendering."""
         return f"{self.mean:.{digits}f} ±{self.ci95:.{digits}f}"
 
 
@@ -137,6 +140,12 @@ class PhaseMetrics:
     #: the repetition, attached to its final phase when the run was
     #: checked (the report spans all phases); None otherwise.
     invariants: typing.Optional[dict] = None
+    #: Serialized :class:`repro.stream.LogHistogram` of the repetition's
+    #: finalization latencies when the run measured through the
+    #: streaming path; None on the exact path (and omitted from
+    #: :meth:`to_dict`, keeping exact-path result JSON byte-identical
+    #: to previous releases).
+    latency_histogram: typing.Optional[dict] = None
 
     @property
     def not_received(self) -> int:
@@ -147,22 +156,27 @@ class PhaseMetrics:
     def from_clients(
         cls, clients: typing.Sequence[CoconutClient], phase: str, repetition: int
     ) -> "PhaseMetrics":
-        """Compute Formulas (1)-(3) from the clients of one repetition."""
-        expected = sum(client.sent_count(phase) for client in clients)
+        """Compute Formulas (1)-(3) from the clients of one repetition.
+
+        Each client's records are traversed exactly once
+        (:meth:`~repro.coconut.client.CoconutClient.phase_summary`); the
+        aggregation below is arithmetic over those single-pass
+        summaries, byte-identical to the per-quantity rebuild it
+        replaced (pinned by the tests/perf seed-equivalence goldens).
+        """
+        summaries = [client.phase_summary(phase) for client in clients]
+        expected = sum(summary.sent for summary in summaries)
         received_records = [
-            record for client in clients for record in client.received_records(phase)
+            record for summary in summaries for record in summary.received
         ]
-        failed = sum(
-            1
-            for client in clients
-            for record in client.phase_records(phase)
-            if record.status == "failed"
-        )
+        failed = sum(summary.failed for summary in summaries)
         first_sends = [
-            t for t in (client.first_send_time(phase) for client in clients) if t is not None
+            summary.first_send for summary in summaries if summary.first_send is not None
         ]
         last_receives = [
-            t for t in (client.last_receive_time(phase) for client in clients) if t is not None
+            summary.last_receive
+            for summary in summaries
+            if summary.last_receive is not None
         ]
         if not received_records or not first_sends or not last_receives:
             # Total failure: the paper reports 0 MTPS / 0 s (Table 15).
@@ -201,11 +215,84 @@ class PhaseMetrics:
             invalidated=sum(1 for record in received_records if record.invalid),
         )
 
+    @classmethod
+    def from_stream(
+        cls,
+        accumulators: typing.Sequence["PhaseAccumulator"],
+        phase: str,
+        repetition: int,
+    ) -> "PhaseMetrics":
+        """Formulas (1)-(3) from streaming accumulators, one per client.
+
+        Counts, extremes, duration and TPS equal the exact path's
+        bit for bit (sums and min/max are order-insensitive); MFLS is
+        the correctly rounded mean of an exact (Shewchuk) latency sum;
+        p50/p95/p99 come from the merged log-bucketed histogram and are
+        exact to one bucket. ``tests/stream/test_equivalence.py`` pins
+        the contract against :meth:`from_clients` run for run.
+        """
+        from repro.stream.accumulator import PhaseAccumulator
+
+        merged = PhaseAccumulator.merged(list(accumulators), phase)
+        if merged.received == 0 or merged.first_send is None or merged.last_receive is None:
+            # Total failure: the paper reports 0 MTPS / 0 s (Table 15),
+            # mirroring the exact path's shape exactly.
+            return cls(
+                phase=phase,
+                repetition=repetition,
+                expected=merged.sent,
+                received=0,
+                failed=merged.failed,
+                t_first_send=merged.first_send if merged.first_send is not None else 0.0,
+                t_last_receive=0.0,
+                duration=0.0,
+                tps=0.0,
+                mean_fls=0.0,
+                latency_histogram=merged.histogram.to_dict(),
+            )
+        t_fstx = merged.first_send
+        t_lrtx = merged.last_receive
+        duration = t_lrtx - t_fstx
+        tps = merged.received / duration if duration > 0 else 0.0
+        p50, p95, p99 = merged.histogram.percentiles((50, 95, 99))
+        return cls(
+            phase=phase,
+            repetition=repetition,
+            expected=merged.sent,
+            received=merged.received,
+            failed=merged.failed,
+            t_first_send=t_fstx,
+            t_last_receive=t_lrtx,
+            duration=duration,
+            tps=tps,
+            mean_fls=merged.mean_latency,
+            p50_fls=p50,
+            p95_fls=p95,
+            p99_fls=p99,
+            invalidated=merged.invalidated,
+            latency_histogram=merged.histogram.to_dict(),
+        )
+
     def to_dict(self) -> dict:
-        """JSON-ready representation."""
-        return dataclasses.asdict(self)
+        """JSON-ready representation.
+
+        The histogram field only appears on streamed metrics; dropping
+        it when None keeps exact-path result JSON byte-identical to
+        files written before the field existed.
+        """
+        data = dataclasses.asdict(self)
+        if data.get("latency_histogram") is None:
+            del data["latency_histogram"]
+        return data
 
     @classmethod
     def from_dict(cls, data: dict) -> "PhaseMetrics":
-        """Inverse of :meth:`to_dict`."""
-        return cls(**data)
+        """Inverse of :meth:`to_dict`, tolerant of unknown keys.
+
+        Result JSON written by a *newer* schema (extra fields) must
+        still load: filtering to the known field set means old code can
+        read new files, the usual forward-compatibility contract for
+        persisted results.
+        """
+        known = {field.name for field in dataclasses.fields(cls)}
+        return cls(**{key: value for key, value in data.items() if key in known})

@@ -121,5 +121,8 @@ def unit_summary(result: UnitResult) -> str:
         )
         if phase.invalidated.mean > 0:
             line += f"  invalid={phase.invalidated.mean:.0f}"
+        if phase.streamed:
+            # Percentiles are histogram-backed (exact to one bucket).
+            line += "  [streamed]"
         lines.append(line)
     return "\n".join(lines)

@@ -64,6 +64,23 @@ class PhaseResult:
         return aggregate([float(rep.expected) for rep in self.repetitions])
 
     @property
+    def streamed(self) -> bool:
+        """Whether the repetitions were measured through repro.stream."""
+        return any(rep.latency_histogram is not None for rep in self.repetitions)
+
+    def latency_histograms(self) -> typing.List[dict]:
+        """Serialized per-repetition latency histograms (streamed runs).
+
+        Empty on exact-path results; :mod:`repro.analysis.histstats`
+        merges these for cross-repetition percentile curves.
+        """
+        return [
+            rep.latency_histogram
+            for rep in self.repetitions
+            if rep.latency_histogram is not None
+        ]
+
+    @property
     def loss_fraction(self) -> float:
         """Share of expected transactions never confirmed."""
         expected = self.expected.mean

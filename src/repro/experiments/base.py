@@ -68,6 +68,7 @@ class Case:
         self,
         scale: typing.Optional[float] = None,
         repetitions: typing.Optional[int] = None,
+        stream_metrics: typing.Optional[bool] = None,
     ) -> BenchmarkConfig:
         """Materialise the benchmark configuration, applying overrides."""
         env_scale = os.environ.get("REPRO_SCALE")
@@ -96,8 +97,13 @@ class Case:
                 ) from None
         else:
             effective_reps = self.recommended_repetitions
+        kwargs = dict(self.config_kwargs)
+        if stream_metrics is not None:
+            # An override beats a case-level setting; None leaves the
+            # case's own kwargs (usually absent -> exact path) alone.
+            kwargs["stream_metrics"] = stream_metrics
         return BenchmarkConfig(
-            scale=effective_scale, repetitions=effective_reps, **self.config_kwargs
+            scale=effective_scale, repetitions=effective_reps, **kwargs
         )
 
 
@@ -173,6 +179,7 @@ class Experiment:
         repetitions: typing.Optional[int] = None,
         case_filter: typing.Optional[typing.Callable[[Case], bool]] = None,
         executor: typing.Optional["Executor"] = None,
+        stream_metrics: bool = False,
     ) -> ExperimentRun:
         """Execute (a subset of) the experiment's cases.
 
@@ -187,7 +194,12 @@ class Experiment:
             if case_filter is None or case_filter(case)
         ]
         configs = [
-            case.build_config(scale=scale, repetitions=repetitions) for case in selected
+            case.build_config(
+                scale=scale,
+                repetitions=repetitions,
+                stream_metrics=stream_metrics or None,
+            )
+            for case in selected
         ]
         if executor is not None:
             units = [outcome.result for outcome in executor.run_units(configs)]

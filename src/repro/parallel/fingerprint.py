@@ -28,7 +28,9 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Bumped whenever the payload layout below changes shape, so caches
 #: written by an older fingerprint scheme never collide with new ones.
 #: 2: BenchmarkConfig grew the ``workload`` field.
-FINGERPRINT_SCHEMA = 2
+#: 3: BenchmarkConfig grew ``stream_metrics`` (streamed results carry
+#:    histogram fields, so the two paths must never share a cache slot).
+FINGERPRINT_SCHEMA = 3
 
 
 def _default_code_version() -> str:

@@ -66,6 +66,7 @@ class CapacitySearch:
         scale: float = 0.05,
         repetitions: int = 1,
         seed: int = 0,
+        stream_metrics: bool = False,
     ) -> None:
         self.system = system
         self.iel = iel
@@ -84,6 +85,12 @@ class CapacitySearch:
         build_strategy(strategy, space.rate)
         self.judge = judge or SustainabilityJudge()
         self.config_kwargs = dict(config_kwargs or {})
+        #: Probe through the constant-memory streaming path. High-rate
+        #: saturation probes are exactly where per-record retention
+        #: peaks (the offered load the search exists to push), so the
+        #: judge's loss/latency inputs are computed identically either
+        #: way — see tests/stream/test_equivalence.py.
+        self.stream_metrics = stream_metrics
         self.scale = scale
         self.repetitions = repetitions
         self.seed = seed
@@ -107,6 +114,7 @@ class CapacitySearch:
             scale=self.scale,
             repetitions=self.repetitions,
             seed=self.seed,
+            stream_metrics=self.stream_metrics,
             **kwargs,
         )
 

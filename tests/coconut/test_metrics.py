@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.coconut.client import PayloadRecord
+from repro.coconut.client import PayloadRecord, PhaseSummary
 from repro.coconut.metrics import (
     MetricSummary,
     PhaseMetrics,
@@ -35,6 +35,15 @@ class FakeClient:
     def last_receive_time(self, phase):
         received = self.received_records(phase)
         return max((r.end_time for r in received), default=None)
+
+    def phase_summary(self, phase):
+        return PhaseSummary(
+            sent=self.sent_count(phase),
+            failed=sum(1 for r in self._records if r.status == "failed"),
+            received=self.received_records(phase),
+            first_send=self.first_send_time(phase),
+            last_receive=self.last_receive_time(phase),
+        )
 
 
 def record(start, end=None, status="pending"):
