@@ -23,6 +23,7 @@ being silently reverted, not machine-to-machine noise.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import heapq
 import sys
 import typing
@@ -41,13 +42,22 @@ from repro.storage.transaction import Payload, Transaction, reset_id_counters
 #: Pre-optimization end-to-end timings (seconds, min-of-3 after warmup)
 #: measured on the machine that produced the committed baseline, with the
 #: exact E2E_CONFIGS below, immediately before the hot-path pass landed.
-PRE_PR_E2E_SECONDS = {"e2e_fabric": 0.815, "e2e_quorum": 0.456}
+PRE_PR_E2E_SECONDS = {
+    "e2e_fabric": 0.815,
+    "e2e_quorum": 0.456,
+    # Captured immediately before the broadcast fan-out / cancellable
+    # timer pass: a 12-validator Sawtooth PBFT unit, where every batch
+    # gossips to 11 peers and every consensus message fans out n-wide.
+    "e2e_sawtooth_n12": 2.849,
+}
 
 E2E_CONFIGS = {
     "e2e_fabric": dict(system="fabric", iel="KeyValue", rate_limit=50,
                        scale=0.05, repetitions=1, seed=3),
     "e2e_quorum": dict(system="quorum", iel="KeyValue", rate_limit=50,
                        scale=0.05, repetitions=1, seed=3),
+    "e2e_sawtooth_n12": dict(system="sawtooth", iel="KeyValue", rate_limit=50,
+                             scale=0.05, repetitions=1, seed=3, node_count=12),
 }
 
 
@@ -137,6 +147,37 @@ class _LegacyNetwork(Network):
         endpoint.on_message(message)
 
 
+@dataclasses.dataclass(frozen=True)
+class _LegacyMessage:
+    """The pre-optimization envelope: a frozen dataclass, paying one
+    ``object.__setattr__`` call per field at construction."""
+
+    src: str
+    dst: str
+    kind: str
+    payload: object = None
+    size_bytes: int = 256
+
+    def __repr__(self) -> str:
+        return f"Message({self.kind} {self.src}->{self.dst})"
+
+
+class _LegacyBroadcastNetwork(Network):
+    """The pre-optimization fan-out: two list passes over the target set,
+    then one frozen-dataclass envelope per destination through ``send``."""
+
+    def broadcast(self, src, dsts, kind, payload=None, size_bytes=256):  # noqa: D102 - reference copy
+        targets = [dst for dst in dsts if dst != src]
+        unknown = [dst for dst in targets if dst not in self._endpoints]
+        if unknown:
+            raise KeyError(
+                f"unknown destination(s) {unknown!r} in broadcast from {src!r}"
+            )
+        for dst in targets:
+            self.send(_LegacyMessage(src, dst, kind, payload, size_bytes))
+        return len(targets)
+
+
 def _legacy_merkle_root(leaves) -> str:
     """Pre-optimization tree build: every leaf re-encoded and re-hashed."""
     leaf_hashes = [hash_object(leaf) for leaf in leaves]
@@ -196,6 +237,80 @@ def bench_net_send(messages: int, repeats: int) -> typing.Tuple[TimingResult, Ti
     current = time_callable(
         lambda: run_network(Network), "net_send", repeats=repeats
     )
+    return legacy, current
+
+
+def bench_broadcast(
+    group: int, broadcasts: int, repeats: int
+) -> typing.Tuple[TimingResult, TimingResult]:
+    """Whole-group fan-outs from one node of a ``group``-node deployment.
+
+    The legacy path allocates one frozen-dataclass envelope per
+    destination and re-runs ``send``'s route lookups; the current path
+    shares a single wire record across the fan-out and inlines the
+    per-destination work over the cached route table.
+    """
+    ids = [f"n{i}" for i in range(group)]
+
+    def run_network(cls):
+        sim = Simulator(seed=1)
+        net = cls(sim, default_latency=ConstantLatency(0.0004))
+        host = Host("h0")
+        for eid in ids:
+            net.attach(_Sink(eid), host)
+        broadcast = net.broadcast
+        for __ in range(broadcasts):
+            broadcast("n0", ids, "ping", size_bytes=256)
+        sim.run()
+
+    legacy = time_callable(
+        lambda: run_network(_LegacyBroadcastNetwork),
+        f"broadcast_n{group}_legacy", repeats=repeats,
+    )
+    current = time_callable(
+        lambda: run_network(Network), f"broadcast_n{group}", repeats=repeats
+    )
+    return legacy, current
+
+
+def bench_timer_churn(churns: int, repeats: int) -> typing.Tuple[TimingResult, TimingResult]:
+    """Arm-and-re-arm a progress timer ``churns`` times, then drain.
+
+    The legacy pattern leaves every superseded timer in the queue as a
+    live generation-checking closure that must be dispatched; the
+    current pattern cancels the superseded handle in O(1) and the
+    drain loop discards its tombstone without a callback dispatch.
+    """
+
+    def run_legacy():
+        sim = _LegacySimulator(seed=1)
+        current_gen = [0]
+
+        def fire(gen):
+            if gen != current_gen[0]:
+                return
+
+        for i in range(churns):
+            current_gen[0] += 1
+            gen = current_gen[0]
+            sim.schedule(1.0 + i * 1e-6, lambda gen=gen: fire(gen))
+        sim.run()
+
+    def run_current():
+        sim = Simulator(seed=1)
+
+        def fire():
+            pass
+
+        handle = None
+        for i in range(churns):
+            if handle is not None:
+                handle.cancel()
+            handle = sim.schedule_cancellable(1.0 + i * 1e-6, fire)
+        sim.run()
+
+    legacy = time_callable(run_legacy, "timer_churn_legacy", repeats=repeats)
+    current = time_callable(run_current, "timer_churn", repeats=repeats)
     return legacy, current
 
 
@@ -261,6 +376,10 @@ def run_all(quick: bool = False) -> typing.Tuple[typing.List[TimingResult], dict
     pairs = {
         "dispatch": bench_dispatch(20_000, repeats),
         "net_send": bench_net_send(10_000, repeats),
+        "broadcast_n4": bench_broadcast(4, 2_000, repeats),
+        "broadcast_n16": bench_broadcast(16, 500, repeats),
+        "broadcast_n32": bench_broadcast(32, 250, repeats),
+        "timer_churn": bench_timer_churn(20_000, repeats),
         "hashing": bench_hashing(100, 20, repeats),
     }
     results: typing.List[TimingResult] = []
@@ -281,9 +400,9 @@ def run_all(quick: bool = False) -> typing.Tuple[typing.List[TimingResult], dict
 
 def _print_report(results: typing.Sequence[TimingResult], notes: dict) -> None:
     by_name = {result.name: result for result in results}
-    print(f"{'target':<16} {'best (s)':>12} {'mean (s)':>12}")
+    print(f"{'target':<22} {'best (s)':>12} {'mean (s)':>12}")
     for result in results:
-        print(f"{result.name:<16} {result.best:>12.6f} {result.mean:>12.6f}")
+        print(f"{result.name:<22} {result.best:>12.6f} {result.mean:>12.6f}")
     print()
     for name, speedup in notes["speedups_vs_legacy"].items():
         print(f"{name}: {speedup:.2f}x vs legacy")

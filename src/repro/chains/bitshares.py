@@ -138,6 +138,9 @@ class BitSharesSystem(SystemModel):
                 send_fn=lambda dst, kind, payload, size, src=node_id: self.network.send(
                     Message(src, dst, kind, payload, size)
                 ),
+                broadcast_fn=lambda kind, payload, size, src=node_id: self.network.broadcast(
+                    src, self.node_ids, kind, payload, size
+                ),
                 decide_fn=bits_node.enqueue_commit,
                 rng=self.sim.rng.stream(f"dpos:{node_id}"),
             )

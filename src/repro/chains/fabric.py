@@ -394,6 +394,7 @@ class FabricSystem(SystemModel):
                     replica_id=orderer_id,
                     peers=self.orderer_ids,
                     send_fn=self._engine_sender(orderer_id),
+                    broadcast_fn=self._engine_broadcaster(orderer_id, self.orderer_ids),
                     decide_fn=orderer.on_decision,
                     rng=self.sim.rng.stream(f"raft:{orderer_id}"),
                 )
@@ -410,6 +411,12 @@ class FabricSystem(SystemModel):
             self.network.send(Message(src, dst, kind, payload, size_bytes))
 
         return sender
+
+    def _engine_broadcaster(self, src: str, peers: typing.Sequence[str]):
+        def poster(kind: str, payload: object, size_bytes: int) -> None:
+            self.network.broadcast(src, peers, kind, payload, size_bytes)
+
+        return poster
 
     def start(self) -> None:
         self.started = True

@@ -117,6 +117,9 @@ class SawtoothSystem(SystemModel):
                 send_fn=lambda dst, kind, payload, size, src=node_id: self.network.send(
                     Message(src, dst, kind, payload, size)
                 ),
+                broadcast_fn=lambda kind, payload, size, src=node_id: self.network.broadcast(
+                    src, self.node_ids, kind, payload, size
+                ),
                 decide_fn=validator.enqueue_commit,
                 rng=self.sim.rng.stream(f"pbft:{node_id}"),
             )
@@ -229,9 +232,10 @@ class SawtoothSystem(SystemModel):
         # validator pays admission CPU for every *offered* payload. This
         # contention is what collapses Sawtooth's throughput at high rate
         # limiters (Section 5.6: 66.7 MTPS at RL=200 vs ~14 at RL=1600).
-        for other_id in self.node_ids:
-            if other_id != node.endpoint_id:
-                node.send(other_id, "sawtooth/gossip", batch, size_bytes=batch.size_bytes)
+        self.network.broadcast(
+            node.endpoint_id, self.node_ids, "sawtooth/gossip", batch,
+            size_bytes=batch.size_bytes,
+        )
         yield from node.busy(self.profile.admission_cost * batch.payload_count)
         validator = typing.cast(SawtoothValidator, node)
         capacity = int(self.params["PendingQueueCapacity"])

@@ -17,7 +17,7 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     import random
 
     from repro.sim.events import Event
-    from repro.sim.kernel import Simulator
+    from repro.sim.kernel import Simulator, TimerHandle
 
 
 @dataclasses.dataclass(frozen=True)
@@ -46,12 +46,18 @@ class EngineContext:
         send_fn: typing.Callable[[str, str, object, int], None],
         decide_fn: typing.Callable[[Decision], None],
         rng: "random.Random",
+        broadcast_fn: typing.Optional[typing.Callable[[str, object, int], None]] = None,
     ) -> None:
         self.sim = sim
         self.replica_id = replica_id
         self.peers = list(peers)  # includes replica_id, stable order
         self._send_fn = send_fn
         self._decide_fn = decide_fn
+        #: The whole-group fan-out. Hosting nodes wire this to
+        #: ``Network.broadcast`` so a logical broadcast takes the
+        #: zero-allocation shared-wire-record path; absent that, fall
+        #: back to one ``send_fn`` call per peer (identical semantics).
+        self._broadcast_fn = broadcast_fn or self._loop_broadcast
         self.rng = rng
         if replica_id not in self.peers:
             raise ValueError(f"replica {replica_id!r} missing from peer list {self.peers}")
@@ -86,6 +92,10 @@ class EngineContext:
 
     def broadcast(self, kind: str, payload: object, size_bytes: int = 256) -> None:
         """Send a protocol message to every *other* peer."""
+        self._broadcast_fn(kind, payload, size_bytes)
+
+    def _loop_broadcast(self, kind: str, payload: object, size_bytes: int) -> None:
+        """Fallback fan-out: one send per peer, in peer-list order."""
         for peer in self.peers:
             if peer != self.replica_id:
                 self._send_fn(peer, kind, payload, size_bytes)
@@ -94,9 +104,19 @@ class EngineContext:
         """Deliver a decided slot to the hosting node."""
         self._decide_fn(decision)
 
-    def after(self, delay: float, callback: typing.Callable[[], None]) -> None:
-        """Run ``callback`` after ``delay`` simulated seconds."""
-        self.sim.schedule(delay, callback)
+    def after(
+        self, delay: float, callback: typing.Callable[..., None], *args: object
+    ) -> None:
+        """Run ``callback(*args)`` after ``delay`` simulated seconds."""
+        self.sim.schedule(delay, callback, *args)
+
+    def after_cancellable(
+        self, delay: float, callback: typing.Callable[..., None], *args: object
+    ) -> "TimerHandle":
+        """Like :meth:`after`, but returns a cancellable
+        :class:`~repro.sim.kernel.TimerHandle` — engines use this for
+        progress timers that are re-armed far more often than they fire."""
+        return self.sim.schedule_cancellable(delay, callback, *args)
 
     def timeout(self, delay: float) -> "Event":
         """A timeout event (for generator-style engine processes)."""

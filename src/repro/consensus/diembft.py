@@ -20,6 +20,9 @@ import typing
 from repro.consensus.base import Decision, EngineContext, ReplicaEngine
 from repro.crypto.signatures import quorum_size
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import TimerHandle
+
 
 @dataclasses.dataclass
 class _BlockInfo:
@@ -61,7 +64,9 @@ class DiemBftEngine(ReplicaEngine):
         self._timeout_votes: typing.Dict[int, typing.Set[str]] = {}
         self._committed_through = -1  # highest committed round
         self._commit_sequence = 0
-        self._round_generation = 0
+        #: Handle of the pending round timer; rounds advance far more
+        #: often than they time out, so re-arming cancels in O(1).
+        self._round_timer: typing.Optional["TimerHandle"] = None
         self._voted_rounds: typing.Set[int] = set()
         self._stopped = False
         self._proposal_pending = False
@@ -112,8 +117,7 @@ class DiemBftEngine(ReplicaEngine):
         if self._proposal_pending:
             return
         self._proposal_pending = True
-        round_number = self.current_round
-        self.context.after(self.round_interval, lambda: self._propose(round_number))
+        self.context.after(self.round_interval, self._propose, self.current_round)
 
     def _propose(self, round_number: int) -> None:
         self._proposal_pending = False
@@ -322,12 +326,15 @@ class DiemBftEngine(ReplicaEngine):
             self._schedule_proposal()
 
     def _arm_round_timer(self) -> None:
-        self._round_generation += 1
-        generation = self._round_generation
-        self.context.after(self.round_timeout, lambda: self._on_round_timeout(generation))
+        timer = self._round_timer
+        if timer is not None:
+            timer.cancel()
+        self._round_timer = self.context.after_cancellable(
+            self.round_timeout, self._on_round_timeout
+        )
 
-    def _on_round_timeout(self, generation: int) -> None:
-        if self._stopped or generation != self._round_generation:
+    def _on_round_timeout(self) -> None:
+        if self._stopped:
             return
         round_number = self.current_round
         tracer = self.context.tracer

@@ -85,7 +85,7 @@ class DposEngine(ReplicaEngine):
 
     def _schedule_slot(self, slot: int) -> None:
         delay = max(0.0, self.slot_time(slot) - self.context.now)
-        self.context.after(delay, lambda: self._on_slot(slot))
+        self.context.after(delay, self._on_slot, slot)
 
     def _on_slot(self, slot: int) -> None:
         if self._stopped:

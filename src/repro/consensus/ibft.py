@@ -21,6 +21,9 @@ from repro.consensus.base import Decision, EngineContext, ReplicaEngine
 from repro.consensus.pbft import proposal_digest
 from repro.crypto.signatures import quorum_size
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import TimerHandle
+
 
 class IbftEngine(ReplicaEngine):
     """One IBFT validator."""
@@ -53,7 +56,9 @@ class IbftEngine(ReplicaEngine):
         self._sent_prepare = False
         self._sent_commit = False
         self._round_change_votes: typing.Dict[typing.Tuple[int, int], typing.Set[str]] = {}
-        self._round_generation = 0
+        #: Handle of the pending round timer; re-arming cancels the
+        #: previous one instead of leaving a stale no-op in the queue.
+        self._round_timer: typing.Optional["TimerHandle"] = None
         self._stopped = False
         #: Decided (proposal, proposer) per height, answering sync
         #: requests from validators recovering from a crash.
@@ -256,14 +261,15 @@ class IbftEngine(ReplicaEngine):
     # Round change
 
     def _arm_round_timer(self) -> None:
-        self._round_generation += 1
-        generation = self._round_generation
+        timer = self._round_timer
+        if timer is not None:
+            timer.cancel()
         # Exponential backoff per round, as go-ethereum's IBFT does.
         delay = self.round_timeout * (2 ** min(self.round, 6))
-        self.context.after(delay, lambda: self._on_round_timeout(generation))
+        self._round_timer = self.context.after_cancellable(delay, self._on_round_timeout)
 
-    def _on_round_timeout(self, generation: int) -> None:
-        if self._stopped or generation != self._round_generation:
+    def _on_round_timeout(self) -> None:
+        if self._stopped:
             return
         target = self.round + 1
         self._vote_round_change(self.height, target, rebroadcast=self.recovery_mode)

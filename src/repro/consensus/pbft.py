@@ -18,6 +18,9 @@ import typing
 from repro.consensus.base import Decision, EngineContext, ReplicaEngine
 from repro.crypto.signatures import quorum_size
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import TimerHandle
+
 
 class _Slot:
     """Per-sequence voting state."""
@@ -78,7 +81,10 @@ class PbftEngine(ReplicaEngine):
         #: sync requests after they recover from a crash.
         self._decided_log: typing.List[typing.Tuple[object, str]] = []
         self._view_change_votes: typing.Dict[int, typing.Set[str]] = {}
-        self._progress_generation = 0
+        #: Handle of the pending progress timer; re-arming cancels the
+        #: previous one in O(1) instead of leaving a fire-and-check
+        #: no-op behind in the event queue.
+        self._progress_timer: typing.Optional["TimerHandle"] = None
         self._timer_active = False
         self._external_pending = False
         self._stopped = False
@@ -338,16 +344,18 @@ class PbftEngine(ReplicaEngine):
             self._arm_progress_timer()
 
     def _arm_progress_timer(self) -> None:
-        self._progress_generation += 1
-        generation = self._progress_generation
-        watermark = self.executed_through
+        timer = self._progress_timer
+        if timer is not None:
+            timer.cancel()
         self._timer_active = True
-        self.context.after(
-            self.progress_timeout, lambda: self._on_progress_timeout(generation, watermark)
+        self._progress_timer = self.context.after_cancellable(
+            self.progress_timeout, self._on_progress_timeout, self.executed_through
         )
 
-    def _on_progress_timeout(self, generation: int, watermark: int) -> None:
-        if self._stopped or generation != self._progress_generation:
+    def _on_progress_timeout(self, watermark: int) -> None:
+        if self._stopped:
+            # Crashed with the timer live: like the pre-handle code, the
+            # armed flag stays set until recover() re-arms.
             return
         self._timer_active = False
         if self.executed_through > watermark:

@@ -18,6 +18,9 @@ import typing
 from repro.consensus.base import Decision, EngineContext, ReplicaEngine
 from repro.crypto.signatures import quorum_size
 
+if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.sim.kernel import TimerHandle
+
 
 @dataclasses.dataclass(frozen=True)
 class LogEntry:
@@ -56,7 +59,10 @@ class RaftEngine(ReplicaEngine):
         self._votes: typing.Set[str] = set()
         self._next_index: typing.Dict[str, int] = {}
         self._match_index: typing.Dict[str, int] = {}
-        self._election_generation = 0
+        #: Handle of the pending election timer. Raft resets this on
+        #: every AppendEntries, so cancellation (not generation
+        #: checking) is what keeps the queue free of dead timers.
+        self._election_timer: typing.Optional["TimerHandle"] = None
         self._stopped = False
 
     # ------------------------------------------------------------------
@@ -110,14 +116,17 @@ class RaftEngine(ReplicaEngine):
     # Timers
 
     def _reset_election_timer(self) -> None:
-        self._election_generation += 1
-        generation = self._election_generation
+        timer = self._election_timer
+        if timer is not None:
+            timer.cancel()
         low, high = self.election_timeout
         delay = self.context.rng.uniform(low, high)
-        self.context.after(delay, lambda: self._on_election_timeout(generation))
+        self._election_timer = self.context.after_cancellable(
+            delay, self._on_election_timeout
+        )
 
-    def _on_election_timeout(self, generation: int) -> None:
-        if self._stopped or generation != self._election_generation or self.role == LEADER:
+    def _on_election_timeout(self) -> None:
+        if self._stopped or self.role == LEADER:
             return
         self._start_election()
 

@@ -10,7 +10,6 @@ samples would reorder them.
 
 from __future__ import annotations
 
-import dataclasses
 import typing
 
 from repro.net.host import Host
@@ -22,15 +21,47 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.sim.kernel import Simulator
 
 
-@dataclasses.dataclass(frozen=True)
 class Message:
-    """An envelope routed by the network."""
+    """An envelope routed by the network.
 
-    src: str
-    dst: str
-    kind: str
-    payload: object = None
-    size_bytes: int = 256
+    A ``__slots__`` class rather than a frozen dataclass: construction is
+    one hot path of every send, and frozen dataclasses pay an
+    ``object.__setattr__`` call per field. The public surface — field
+    names, defaults, equality, hashing and repr — matches the previous
+    frozen-dataclass definition exactly. Treat instances as immutable;
+    the network itself is the only writer (it stamps ``dst`` on the
+    shared wire record of a broadcast fan-out before each delivery).
+    """
+
+    __slots__ = ("src", "dst", "kind", "payload", "size_bytes")
+
+    def __init__(
+        self,
+        src: str,
+        dst: str,
+        kind: str,
+        payload: object = None,
+        size_bytes: int = 256,
+    ) -> None:
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.payload = payload
+        self.size_bytes = size_bytes
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not Message:
+            return NotImplemented
+        return (
+            self.src == other.src
+            and self.dst == other.dst
+            and self.kind == other.kind
+            and self.payload == other.payload
+            and self.size_bytes == other.size_bytes
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.src, self.dst, self.kind, self.payload, self.size_bytes))
 
     def __repr__(self) -> str:
         return f"Message({self.kind} {self.src}->{self.dst})"
@@ -91,9 +122,17 @@ class Network:
         self._endpoints: typing.Dict[str, Endpoint] = {}
         self._links: typing.Dict[typing.Tuple[str, str], Link] = {}
         self._routes: typing.Dict[typing.Tuple[str, str], _Route] = {}
+        #: The same _Route records as ``_routes``, re-indexed as
+        #: ``src -> dst -> route`` so the broadcast fan-out resolves its
+        #: whole target set with one outer lookup and no per-destination
+        #: tuple-key allocation. Both tables share record objects — the
+        #: FIFO clock must be one clock per directed pair no matter
+        #: which path sent the message.
+        self._routes_from: typing.Dict[str, typing.Dict[str, _Route]] = {}
         #: Bound once so the per-message schedule() call does not
         #: allocate a fresh bound method (let alone a closure).
         self._deliver_cb = self._deliver
+        self._deliver_shared_cb = self._deliver_shared
         self._rng = sim.rng.stream(f"network:{name}")
         self.messages_sent = 0
         self.messages_dropped = 0
@@ -166,6 +205,7 @@ class Network:
             raise KeyError(f"unknown destination {dst!r}")
         route = _Route(self._endpoints[dst], self.link_between(src, dst))
         self._routes[(src, dst)] = route
+        self._routes_from.setdefault(src, {})[dst] = route
         return route
 
     def send(self, message: Message) -> None:
@@ -235,6 +275,30 @@ class Network:
             tracer.metrics.histogram("net.latency", system=self.name).record(latency)
         endpoint.on_message(message)
 
+    def _deliver_shared(
+        self, endpoint: Endpoint, message: Message, dst: str, latency: float
+    ) -> None:
+        """Deliver one fan-out of a broadcast's shared wire record.
+
+        The record is shared by every destination of the logical
+        broadcast, so its ``dst`` field is stamped here — deliveries run
+        one at a time on the event loop, and handlers read the message
+        synchronously — before the same crash re-check and delivery-side
+        trace records as :meth:`_deliver`.
+        """
+        message.dst = dst
+        if not self.endpoint_is_up(dst):
+            self._drop(message)
+            return
+        tracer = self.sim.tracer
+        if tracer.enabled and tracer.wants("net"):
+            tracer.event(
+                "net.deliver", category="net", node=dst,
+                src=message.src, kind=message.kind, latency=round(latency, 9),
+            )
+            tracer.metrics.histogram("net.latency", system=self.name).record(latency)
+        endpoint.on_message(message)
+
     def broadcast(
         self,
         src: str,
@@ -245,17 +309,87 @@ class Network:
     ) -> int:
         """Send the same message to every destination except ``src``.
 
-        All destinations are validated before the first send, so a
-        typo'd peer list fails atomically (KeyError, nothing sent)
-        instead of after a partial fan-out. Returns the number of
-        messages sent.
+        All destinations are validated (in the same single pass that
+        filters out ``src``) before the first send, so a typo'd peer
+        list fails atomically (KeyError, nothing sent) instead of after
+        a partial fan-out. Returns the number of messages sent.
+
+        Fast path: one shared wire record is allocated per logical
+        broadcast and the per-destination routing — drop checks,
+        partition filter, delay, FIFO clamp, trace records — is inlined
+        over the cached route table, replicating :meth:`send`'s work
+        (same RNG draws, same schedule order) without its per-destination
+        ``Message`` construction.
         """
-        targets = [dst for dst in dsts if dst != src]
-        unknown = [dst for dst in targets if dst not in self._endpoints]
+        endpoints = self._endpoints
+        targets = []
+        unknown = None
+        for dst in dsts:
+            if dst == src:
+                continue
+            if dst in endpoints:
+                targets.append(dst)
+            elif unknown is None:
+                unknown = [dst]
+            else:
+                unknown.append(dst)
         if unknown:
             raise KeyError(
                 f"unknown destination(s) {unknown!r} in broadcast from {src!r}"
             )
+        if not targets:
+            return 0
+        message = Message(src, "", kind, payload, size_bytes)
+        routes = self._routes_from.get(src)
+        if routes is None:
+            routes = self._routes_from.setdefault(src, {})
+        sim = self.sim
+        now = sim.now
+        schedule = sim.schedule
+        deliver = self._deliver_shared_cb
+        tracer = sim.tracer
+        traced = tracer.enabled and tracer.wants("net")
+        partitions = self.partitions
+        rng = self._rng
+        down = self._down_endpoints
+        src_down = bool(down) and src in down
+        extra = self.extra_latency
+        self.messages_sent += len(targets)
+        live = 0
         for dst in targets:
-            self.send(Message(src, dst, kind, payload, size_bytes))
+            route = routes.get(dst)
+            if route is None:
+                route = self._route_for(src, dst)
+            if (not route.src_host.is_up or not route.dst_host.is_up
+                    or src_down or (down and dst in down)):
+                message.dst = dst
+                self._drop(message)
+                continue
+            if not partitions.allows(src, dst, rng):
+                message.dst = dst
+                self._drop(message)
+                continue
+            if route.const_delay is not None:
+                delay = route.const_delay + size_bytes / route.src_host.bandwidth_bps
+            else:
+                delay = route.link.delay(size_bytes, rng)
+            if extra:
+                delay += extra
+            arrival = now + delay
+            if arrival < route.fifo_clock:
+                arrival = route.fifo_clock
+            else:
+                route.fifo_clock = arrival
+            latency = arrival - now
+            if traced:
+                tracer.event(
+                    "net.send", category="net", node=src,
+                    dst=dst, kind=kind, size=size_bytes,
+                )
+                live += 1
+            schedule(latency, deliver, route.endpoint, message, dst, latency)
+        if traced and live:
+            metrics = tracer.metrics
+            metrics.counter("net.sent", system=self.name).inc(live)
+            metrics.counter("net.bytes", system=self.name).inc(size_bytes * live)
         return len(targets)

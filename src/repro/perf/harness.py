@@ -12,6 +12,7 @@ generous regression threshold.
 from __future__ import annotations
 
 import dataclasses
+import gc
 import json
 import pathlib
 import platform
@@ -55,20 +56,32 @@ def time_callable(
     Each round calls ``fn`` ``loops`` times; samples are per-call. The
     callable owns its setup — pass a closure that rebuilds fresh state
     per call if the work is not idempotent.
+
+    The cyclic garbage collector is disabled for the duration of the
+    warmup and measurement loops (and restored afterwards, even if the
+    callable raises): a collection landing inside one repeat would
+    charge an unrelated pause to that sample, which min-of-N cannot
+    filter when the callable allocates enough to trigger GC every round.
     """
     if repeats < 1:
         raise ValueError(f"need at least one repeat, got {repeats}")
     if loops < 1:
         raise ValueError(f"need at least one loop per repeat, got {loops}")
-    for __ in range(warmup * loops):
-        fn()
-    counter = time.perf_counter
-    samples = []
-    for __ in range(repeats):
-        start = counter()
-        for __ in range(loops):
+    gc_was_enabled = gc.isenabled()
+    gc.disable()
+    try:
+        for __ in range(warmup * loops):
             fn()
-        samples.append((counter() - start) / loops)
+        counter = time.perf_counter
+        samples = []
+        for __ in range(repeats):
+            start = counter()
+            for __ in range(loops):
+                fn()
+            samples.append((counter() - start) / loops)
+    finally:
+        if gc_was_enabled:
+            gc.enable()
     return TimingResult(
         name=name or getattr(fn, "__name__", "anonymous"),
         best=min(samples),

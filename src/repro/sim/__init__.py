@@ -12,7 +12,7 @@ deterministic: two runs with the same seed produce identical event orders.
 """
 
 from repro.sim.events import AllOf, AnyOf, Event, Interrupt, Timeout
-from repro.sim.kernel import Simulator
+from repro.sim.kernel import Simulator, TimerHandle
 from repro.sim.process import Process
 from repro.sim.resources import Resource
 from repro.sim.rng import RngRegistry
@@ -30,4 +30,5 @@ __all__ = [
     "Store",
     "StoreFullError",
     "Timeout",
+    "TimerHandle",
 ]

@@ -23,6 +23,47 @@ if typing.TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.trace.tracer import Tracer
 
 
+class TimerHandle:
+    """A cancellable timer returned by :meth:`Simulator.schedule_cancellable`.
+
+    Cancellation is O(1): the queue entry is tombstoned in place (its
+    callback slot set to ``None``) and the dispatch loop pops-and-skips
+    dead entries instead of dispatching a fire-and-check no-op. The entry
+    keeps its ``(time, sequence)`` heap position, so sequence numbering,
+    RNG draws and the order of live events are untouched — a run with
+    cancellations stays byte-identical to one where the stale timers
+    fired as no-ops.
+    """
+
+    __slots__ = ("_entry", "_callback", "_fired")
+
+    def __init__(self, callback: typing.Callable[..., None]) -> None:
+        self._callback = callback
+        self._fired = False
+        self._entry: list = []
+
+    @property
+    def active(self) -> bool:
+        """Whether the timer is still pending (not fired, not cancelled)."""
+        return not self._fired and self._entry[2] is not None
+
+    def cancel(self) -> bool:
+        """Tombstone the timer. Returns ``False`` if it already fired or
+        was already cancelled (both are safe no-ops)."""
+        if self._fired:
+            return False
+        entry = self._entry
+        if entry[2] is None:
+            return False
+        entry[2] = None
+        entry[3] = ()  # drop callback/argument refs promptly
+        return True
+
+    def _run(self, *args: object) -> None:
+        self._fired = True
+        self._callback(*args)
+
+
 class Simulator:
     """A deterministic discrete-event simulator.
 
@@ -65,12 +106,34 @@ class Simulator:
         Extra positional arguments ride on the queue entry, so hot-path
         callers (the network's per-message delivery) can schedule a
         bound method plus its operands instead of allocating a closure
-        per event.
+        per event. Entries are 4-slot lists (not tuples) so cancellable
+        timers can be tombstoned in place; heap order only ever compares
+        the (time, sequence) prefix, and sequence is unique.
         """
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
         self._sequence += 1
-        heapq.heappush(self._queue, (self._now + delay, self._sequence, callback, args))
+        heapq.heappush(self._queue, [self._now + delay, self._sequence, callback, args])
+
+    def schedule_cancellable(
+        self, delay: float, callback: typing.Callable[..., None], *args: object
+    ) -> TimerHandle:
+        """Like :meth:`schedule`, but returns a :class:`TimerHandle`.
+
+        The handle's :meth:`~TimerHandle.cancel` tombstones the queue
+        entry in O(1); the dispatch loop skips dead entries when they
+        surface instead of dispatching them. Consensus engines use this
+        for progress/view-change timers that are re-armed far more often
+        than they fire.
+        """
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        self._sequence += 1
+        handle = TimerHandle(callback)
+        entry = [self._now + delay, self._sequence, handle._run, args]
+        handle._entry = entry
+        heapq.heappush(self._queue, entry)
+        return handle
 
     def event(self, name: str = "") -> Event:
         """Create a fresh untriggered :class:`Event`."""
@@ -110,6 +173,15 @@ class Simulator:
                         break
                     pop(queue)
                     self._now = entry[0]
+                    if entry[2] is None:
+                        # Tombstoned (cancelled) timer: skip the dispatch
+                        # but keep the per-pop instrumentation identical
+                        # to what the fire-and-check no-op produced, so
+                        # metric snapshots stay byte-identical.
+                        metrics = self.tracer.metrics
+                        metrics.gauge("sim.queue_depth", system="sim").set(len(queue))
+                        metrics.counter("sim.dispatches", system="sim").inc()
+                        continue
                     self._traced_dispatch(entry[2], entry[3])
             else:
                 while queue:
@@ -118,10 +190,13 @@ class Simulator:
                         break
                     pop(queue)
                     self._now = entry[0]
+                    callback = entry[2]
+                    if callback is None:
+                        continue  # tombstoned (cancelled) timer
                     if entry[3]:
-                        entry[2](*entry[3])
+                        callback(*entry[3])
                     else:
-                        entry[2]()
+                        callback()
             if until is not None and self._now < until:
                 self._now = until
         finally:
@@ -171,16 +246,29 @@ class Simulator:
                     )
                 pop(queue)
                 self._now = entry[0]
+                callback = entry[2]
+                if callback is None:
+                    # Tombstoned (cancelled) timer: skip, mirroring the
+                    # per-pop instrumentation when traced (see run()).
+                    if traced:
+                        metrics = self.tracer.metrics
+                        metrics.gauge("sim.queue_depth", system="sim").set(len(queue))
+                        metrics.counter("sim.dispatches", system="sim").inc()
+                    continue
                 if traced:
-                    self._traced_dispatch(entry[2], entry[3])
+                    self._traced_dispatch(callback, entry[3])
                 elif entry[3]:
-                    entry[2](*entry[3])
+                    callback(*entry[3])
                 else:
-                    entry[2]()
+                    callback()
         finally:
             self._running = False
         return process.value
 
     def pending_events(self) -> int:
-        """Number of callbacks still queued (diagnostic)."""
+        """Number of entries still queued (diagnostic).
+
+        Cancelled-but-unpopped timers count, exactly as their
+        fire-and-check no-op predecessors did.
+        """
         return len(self._queue)

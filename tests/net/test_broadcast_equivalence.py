@@ -1,0 +1,148 @@
+"""Broadcast fast-path equivalence against the naive per-destination loop.
+
+The zero-allocation fan-out shares one wire record per logical broadcast
+and inlines ``send``'s per-destination work; it is only admissible if
+every observable — delivery times and contents, drop accounting, RNG
+consumption, trace records, metric snapshots — stays byte-identical to
+sending one fresh ``Message`` per destination. Each scenario here runs
+both ways with the same seed and compares everything, including a
+canonical trace digest, under jittered links, partitions, probabilistic
+loss and crashed endpoints with a live tracer.
+"""
+
+import hashlib
+import json
+
+import pytest
+
+from repro.net import ConstantLatency, Endpoint, Host, Network
+from repro.net.latency import EUROPEAN_WAN_LATENCY
+from repro.net.network import Message
+from repro.sim import Simulator
+from repro.trace.config import TraceConfig
+from repro.trace.tracer import Tracer
+
+N = 6
+IDS = [f"n{i}" for i in range(N)]
+
+
+class Recorder(Endpoint):
+    """Records each delivery, including the envelope's dst stamp."""
+
+    def __init__(self, endpoint_id, sim):
+        super().__init__(endpoint_id)
+        self.sim = sim
+        self.received = []
+
+    def on_message(self, message):
+        self.received.append(
+            (self.sim.now, message.src, message.dst, message.kind,
+             message.payload, message.size_bytes)
+        )
+
+
+def naive_broadcast(network, src, dsts, kind, payload, size_bytes):
+    """The pre-optimization reference: one fresh envelope per destination."""
+    targets = [dst for dst in dsts if dst != src]
+    for dst in targets:
+        network.send(Message(src, dst, kind, payload, size_bytes))
+    return len(targets)
+
+
+def run_scenario(fast_path, latency, faults):
+    sim = Simulator(seed=9)
+    tracer = Tracer(TraceConfig())
+    sim.set_tracer(tracer)
+    network = Network(sim, default_latency=latency)
+    nodes = {}
+    for i, nid in enumerate(IDS):
+        nodes[nid] = Recorder(nid, sim)
+        network.attach(nodes[nid], Host(f"h{i}"))
+    faults(sim, network)
+    returned = []
+
+    def fan_out(src, kind, payload, size_bytes):
+        if fast_path:
+            returned.append(network.broadcast(src, IDS, kind, payload, size_bytes))
+        else:
+            returned.append(naive_broadcast(network, src, IDS, kind, payload, size_bytes))
+
+    # A deterministic script of interleaved fan-outs and point sends, so
+    # broadcasts land between (and at the same instants as) other traffic.
+    sim.schedule(0.0, fan_out, "n0", "propose", {"seq": 1}, 512)
+    sim.schedule(0.0, fan_out, "n1", "vote", {"seq": 1}, 128)
+    sim.schedule(0.002, lambda: network.send(Message("n2", "n0", "ack", {"seq": 1}, 64)))
+    sim.schedule(0.004, fan_out, "n2", "vote", {"seq": 1}, 128)
+    sim.schedule(0.004, fan_out, "n3", "commit", {"seq": 1}, 256)
+    sim.schedule(0.030, fan_out, "n0", "propose", {"seq": 2}, 512)
+    sim.run()
+
+    events = sorted(
+        (json.dumps(record.to_dict(), sort_keys=True) for record in tracer.events),
+    )
+    return {
+        "returned": returned,
+        "received": {nid: nodes[nid].received for nid in IDS},
+        "sent": network.messages_sent,
+        "dropped": network.messages_dropped,
+        "metrics": tracer.metrics.snapshot(),
+        "trace_digest": hashlib.sha256("\n".join(events).encode()).hexdigest(),
+        "event_count": len(events),
+    }
+
+
+def no_faults(sim, network):
+    pass
+
+
+def crashed_endpoint(sim, network):
+    network.set_endpoint_down("n4")
+
+
+def midflight_crash(sim, network):
+    # n5 crashes after the t=0 sends but before their deliveries arrive:
+    # the in-flight fan-outs must be dropped at delivery time.
+    sim.schedule(0.0001, lambda: network.set_endpoint_down("n5"))
+
+
+def partitioned(sim, network):
+    network.partitions.partition(IDS[:3], IDS[3:])
+
+
+def lossy(sim, network):
+    # Probabilistic loss consults the RNG per (src, dst) attempt, so any
+    # divergence in draw order between the two paths shows up here.
+    for other in IDS[1:]:
+        network.partitions.set_loss("n0", other, 0.5)
+
+
+SCENARIOS = {
+    "constant-latency": (ConstantLatency(0.010), no_faults),
+    "jittered-wan": (EUROPEAN_WAN_LATENCY, no_faults),
+    "crashed-endpoint": (ConstantLatency(0.010), crashed_endpoint),
+    "midflight-crash": (ConstantLatency(0.010), midflight_crash),
+    "partitioned": (EUROPEAN_WAN_LATENCY, partitioned),
+    "lossy": (EUROPEAN_WAN_LATENCY, lossy),
+}
+
+
+class TestBroadcastEquivalence:
+    @pytest.mark.parametrize("scenario", sorted(SCENARIOS))
+    def test_fast_path_matches_naive_loop(self, scenario):
+        latency, faults = SCENARIOS[scenario]
+        fast = run_scenario(True, latency, faults)
+        naive = run_scenario(False, latency, faults)
+        assert fast == naive
+
+    def test_shared_record_dst_stamped_per_delivery(self):
+        fast = run_scenario(True, ConstantLatency(0.010), no_faults)
+        deliveries = 0
+        for nid, received in fast["received"].items():
+            for __, __, dst, __, __, __ in received:
+                assert dst == nid
+                deliveries += 1
+        assert deliveries > 0
+
+    def test_broadcast_returns_target_count(self):
+        fast = run_scenario(True, ConstantLatency(0.010), no_faults)
+        assert fast["returned"] == [N - 1] * 5

@@ -42,6 +42,37 @@ class TestTimeCallable:
         time_callable(lambda: calls.append(1), repeats=2, warmup=0)
         assert len(calls) == 2
 
+    def test_gc_disabled_during_timing_and_restored(self):
+        import gc
+
+        assert gc.isenabled()
+        observed = []
+        time_callable(lambda: observed.append(gc.isenabled()), repeats=2, warmup=1)
+        assert observed == [False, False, False]
+        assert gc.isenabled()
+
+    def test_gc_restored_when_callable_raises(self):
+        import gc
+
+        assert gc.isenabled()
+        with pytest.raises(RuntimeError):
+            time_callable(self._raise, repeats=1)
+        assert gc.isenabled()
+
+    def test_gc_left_disabled_if_it_was_disabled(self):
+        import gc
+
+        gc.disable()
+        try:
+            time_callable(lambda: None, repeats=1)
+            assert not gc.isenabled()
+        finally:
+            gc.enable()
+
+    @staticmethod
+    def _raise():
+        raise RuntimeError("boom")
+
 
 class TestBaselineFiles:
     def _result(self, name, best):
